@@ -1,0 +1,42 @@
+// Command datagen materializes one of the calibrated synthetic LBSN data
+// sets (NYC, LA, GW, GS) as CSV files: <name>_pois.csv with one row per POI
+// and <name>_checkins.csv with one row per check-in. cmd/tarquery can load
+// the pair back with its -pois/-checkins flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tartree/internal/lbsn"
+)
+
+func main() {
+	var (
+		name  = flag.String("dataset", "GS", "data set name (NYC, LA, GW, GS)")
+		scale = flag.Float64("scale", 0.1, "scale in (0,1]")
+		out   = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	spec, err := lbsn.SpecByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := lbsn.Generate(spec.Scaled(*scale))
+	if err != nil {
+		fatal(err)
+	}
+	poisPath, checkinsPath, err := d.WriteCSV(*out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d POIs to %s and %d check-ins to %s\n",
+		len(d.POIs), poisPath, d.TotalCheckIns(), checkinsPath)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Command tarbench regenerates the tables and figures of the paper's
+// evaluation (Section 8). Each experiment prints the same rows/series the
+// paper plots, computed on the calibrated synthetic LBSN data sets.
+//
+// Usage:
+//
+//	tarbench -exp fig9                  # one experiment, default datasets
+//	tarbench -exp all -datasets GW,GS   # the full evaluation
+//	tarbench -exp fig6 -scale 1 -queries 1000   # paper-scale run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tartree/internal/bench"
+)
+
+func main() {
+	var (
+		exp = flag.String("exp", "all", "experiment id ("+strings.Join(bench.ExperimentIDs(), ", ")+
+			"; ablations: "+strings.Join(bench.AblationIDs(), ", ")+"), 'all' (paper figures) or 'ablations'")
+		datasets = flag.String("datasets", "", "comma-separated data sets (NYC,LA,GW,GS); default GW,GS as in the paper")
+		scale    = flag.Float64("scale", 0, "data set scale in (0,1]; 0 = per-dataset default")
+		queries  = flag.Int("queries", 0, "queries per measurement; 0 = 200 (paper: 1000)")
+		seed     = flag.Int64("seed", 1, "random seed for query generation")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale, Queries: *queries, Seed: *seed}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	var ids []string
+	switch *exp {
+	case "all":
+		ids = bench.ExperimentIDs()
+	case "ablations":
+		ids = bench.AblationIDs()
+	default:
+		if _, ok := bench.Experiments[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "tarbench: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := bench.Experiments[id](cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tarbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for i := range tables {
+			tables[i].Print(os.Stdout)
+		}
+		fmt.Printf("\n[%s completed in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,131 @@
+// Command tarquery builds a TAR-tree over one of the synthetic LBSN data
+// sets and answers a kNNTA query from the command line, printing the top-k
+// POIs with their score components and the work counters. It demonstrates
+// the whole public API: data generation, index construction, querying and
+// the minimum weight adjustment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tartree"
+	"tartree/internal/lbsn"
+	"tartree/internal/mwa"
+	"tartree/internal/planner"
+)
+
+func main() {
+	var (
+		name     = flag.String("dataset", "GS", "data set name (NYC, LA, GW, GS)")
+		scale    = flag.Float64("scale", 0.2, "data set scale in (0,1]")
+		pois     = flag.String("pois", "", "load POIs from this CSV (written by datagen) instead of generating")
+		checkins = flag.String("checkins", "", "load check-ins from this CSV (requires -pois)")
+		x        = flag.Float64("x", 50, "query point x (world is 0..100)")
+		y        = flag.Float64("y", 50, "query point y")
+		k        = flag.Int("k", 10, "number of results")
+		alpha    = flag.Float64("alpha", 0.3, "weight of the spatial distance")
+		days     = flag.Int64("days", 128, "query interval length in days (ending at the data set's end)")
+		adj      = flag.Bool("mwa", false, "also compute the minimum weight adjustment")
+		plan     = flag.Bool("plan", false, "consult the cost-model planner before answering")
+		group    = flag.String("grouping", "tar", "entry grouping: tar, spa, agg")
+	)
+	flag.Parse()
+
+	spec, err := lbsn.SpecByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	var d *lbsn.Dataset
+	if *pois != "" {
+		if *checkins == "" {
+			fatal(fmt.Errorf("-pois requires -checkins"))
+		}
+		d, err = lbsn.LoadCSV(spec, *pois, *checkins)
+	} else {
+		d, err = lbsn.Generate(spec.Scaled(*scale))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	var g tartree.Grouping
+	switch *group {
+	case "tar":
+		g = tartree.TAR3D
+	case "spa":
+		g = tartree.IndSpa
+	case "agg":
+		g = tartree.IndAgg
+	default:
+		fatal(fmt.Errorf("unknown grouping %q", *group))
+	}
+	buildStart := time.Now()
+	tr, err := d.Build(lbsn.BuildOptions{Grouping: g})
+	if err != nil {
+		fatal(err)
+	}
+	leaves, internals := tr.NodeCount()
+	fmt.Printf("built %s over %s: %d effective POIs, %d leaf + %d internal nodes, height %d (%v)\n",
+		g, spec.Name, tr.Len(), leaves, internals, tr.Height(), time.Since(buildStart).Round(time.Millisecond))
+
+	end := d.Spec.End
+	q := tartree.Query{
+		X: *x, Y: *y,
+		Iq:     tartree.Interval{Start: end - *days*lbsn.Day, End: end},
+		K:      *k,
+		Alpha0: *alpha,
+	}
+	if *plan {
+		pl, err := planner.New(tr)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := pl.Plan(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nplanner: %v (index cost %.1f vs scan cost %.1f, estimated f(pk) %.3f)\n",
+			p.Engine, p.IndexCost, p.ScanCost, p.EstimatedFk)
+	}
+
+	start := time.Now()
+	results, stats, err := tr.Query(q)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("\nkNNTA query at (%.1f, %.1f), last %d days, k=%d, alpha0=%.2f\n\n",
+		*x, *y, *days, *k, *alpha)
+	fmt.Printf("%4s  %6s  %8s  %8s  %8s  %8s  %6s\n", "rank", "poi", "score", "s0", "s1", "x/y", "agg")
+	for i, r := range results {
+		fmt.Printf("%4d  %6d  %8.4f  %8.4f  %8.4f  %4.1f/%-4.1f %6d\n",
+			i+1, r.POI.ID, r.Score, r.S0, r.S1, r.POI.X, r.POI.Y, r.Agg)
+	}
+	fmt.Printf("\n%d node accesses (%d internal, %d leaf), %d TIA page reads, %v\n",
+		stats.RTreeAccesses(), stats.InternalAccesses, stats.LeafAccesses, stats.TIAAccesses, elapsed.Round(time.Microsecond))
+
+	if *adj {
+		_, a, _, err := mwa.Pruning(tr, q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\nminimum weight adjustment:")
+		if a.HasLower {
+			fmt.Printf("  lower alpha0 below %.4f to change the top-%d\n", a.Lower, *k)
+		}
+		if a.HasUpper {
+			fmt.Printf("  raise alpha0 above %.4f to change the top-%d\n", a.Upper, *k)
+		}
+		if !a.HasLower && !a.HasUpper {
+			fmt.Println("  no adjustment changes the result set")
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tarquery: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+// Explorer: a user browses nearby attractions and tunes the balance
+// between closeness and popularity. The minimum weight adjustment (Section
+// 7.1) tells the interface exactly how far the slider must move before the
+// result set changes — so the app can skip the dead zone instead of
+// re-running queries that return the same answers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tartree/internal/core"
+	"tartree/internal/lbsn"
+	"tartree/internal/mwa"
+	"tartree/internal/tia"
+)
+
+func main() {
+	data, err := lbsn.Generate(lbsn.NYC.Scaled(0.5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := data.Build(lbsn.BuildOptions{Grouping: core.TAR3D})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d attractions\n\n", tr.Len())
+
+	q := core.Query{
+		X: 50, Y: 50,
+		Iq:     tia.Interval{Start: data.Spec.End - 256*lbsn.Day, End: data.Spec.End},
+		K:      5,
+		Alpha0: 0.5,
+	}
+
+	// Walk the weight space: at each step, ask for the top-5 and the
+	// minimum adjustment that would change them, then jump just past it.
+	for step := 0; step < 4; step++ {
+		top, adj, stats, err := mwa.Pruning(tr, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("alpha0 = %.4f (distance %3.0f%%, popularity %3.0f%%):\n",
+			q.Alpha0, q.Alpha0*100, (1-q.Alpha0)*100)
+		for i, r := range top {
+			fmt.Printf("  %d. POI %-6d dist-part %.3f  popularity-part %.3f  (%d check-ins)\n",
+				i+1, r.POI.ID, r.S0, r.S1, r.Agg)
+		}
+		fmt.Printf("  [%d node accesses to compute top-k and adjustment]\n", stats.RTreeAccesses())
+		if !adj.HasUpper || adj.Upper >= 0.999 {
+			fmt.Println("  no upward adjustment changes the results; stopping")
+			break
+		}
+		fmt.Printf("  -> results frozen until alpha0 exceeds %.4f; jumping there\n\n", adj.Upper)
+		q.Alpha0 = adj.Upper + 1e-6
+	}
+}

@@ -1,0 +1,3 @@
+module tartree
+
+go 1.22

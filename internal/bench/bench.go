@@ -1,0 +1,221 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (Section 8). Each Fig*/Table* function
+// runs one experiment and returns text tables whose rows are the series the
+// paper plots; cmd/tarbench prints them and the root bench_test.go wraps
+// them as Go benchmarks.
+//
+// Following the paper's setup: the R-tree node size is 1024 bytes (50
+// two-dimensional / 36 three-dimensional entries), the epoch length is 7
+// days, each TIA has 10 buffer slots, POIs need 15/10/100/50 check-ins to
+// be indexed, and 1000 queries are generated with the query point sampled
+// from the POIs and the interval length drawn from 2^0..2^9 days. By
+// default k = 10 and α0 = 0.3. Because the original data sets are not
+// available offline, the harness runs on the calibrated synthetic data of
+// internal/lbsn, scaled so an experiment finishes in minutes; absolute
+// numbers differ from the paper, trends and ratios are the comparison.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"tartree/internal/core"
+	"tartree/internal/lbsn"
+	"tartree/internal/seqscan"
+	"tartree/internal/tia"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Datasets to run on; nil selects GW and GS, the two the paper presents.
+	Datasets []string
+	// Scale shrinks the data sets; 0 selects per-dataset defaults that keep
+	// a full experiment within minutes.
+	Scale float64
+	// Queries per measurement; 0 selects 200 (the paper uses 1000).
+	Queries int
+	// Seed for query generation.
+	Seed int64
+}
+
+func (c Config) datasets() []string {
+	if len(c.Datasets) == 0 {
+		return []string{"GW", "GS"}
+	}
+	return c.Datasets
+}
+
+// defaultScales keep experiment sweeps within minutes while leaving
+// thousands of effective POIs after the check-in thresholds. GW at scale 1
+// has 1.28M raw POIs; halving it keeps generation fast without changing the
+// distributions.
+var defaultScales = map[string]float64{
+	"NYC": 1.0, "LA": 1.0, "GW": 0.5, "GS": 1.0,
+}
+
+func (c Config) scaleFor(name string) float64 {
+	if c.Scale > 0 {
+		return c.Scale
+	}
+	if s, ok := defaultScales[name]; ok {
+		return s
+	}
+	return 0.1
+}
+
+func (c Config) queries() int {
+	if c.Queries > 0 {
+		return c.Queries
+	}
+	return 200
+}
+
+// Table is a printable result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Print renders the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n%s\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// dataEnv is a generated data set plus its derived artifacts, shared by the
+// experiments on the same dataset.
+type dataEnv struct {
+	name string
+	data *lbsn.Dataset
+}
+
+func newEnv(cfg Config, name string) (*dataEnv, error) {
+	spec, err := lbsn.SpecByName(name)
+	if err != nil {
+		return nil, err
+	}
+	d, err := lbsn.Generate(spec.Scaled(cfg.scaleFor(name)))
+	if err != nil {
+		return nil, err
+	}
+	return &dataEnv{name: name, data: d}, nil
+}
+
+// methods in the paper's presentation order.
+var methodNames = []string{"baseline", "IND-agg", "IND-spa", "TAR-tree"}
+
+// queryable unifies the baseline scanner and the index variants.
+type queryable interface {
+	Query(q core.Query) ([]core.Result, core.QueryStats, error)
+}
+
+type scanAdapter struct{ s *seqscan.Scanner }
+
+func (a scanAdapter) Query(q core.Query) ([]core.Result, core.QueryStats, error) {
+	res, err := a.s.Query(q)
+	return res, core.QueryStats{}, err
+}
+
+// buildAll constructs the baseline and the three index variants for the
+// data set (indexing check-ins before cutoff; 0 = all).
+func (e *dataEnv) buildAll(nodeSize int, epochLength int64, cutoff int64) (map[string]queryable, error) {
+	out := make(map[string]queryable, 4)
+	scan := seqscan.New(e.data.World, tia.Contained)
+	for i := range e.data.POIs {
+		p := &e.data.POIs[i]
+		hist := lbsn.History(p, e.data.Spec.Start, epochLength, cutoff)
+		var total int64
+		for _, r := range hist {
+			total += r.Agg
+		}
+		if total < e.data.Spec.MinEffective {
+			continue
+		}
+		scan.Add(core.POI{ID: p.ID, X: p.X, Y: p.Y}, hist)
+	}
+	out["baseline"] = scanAdapter{scan}
+	for _, g := range []core.Grouping{core.IndAgg, core.IndSpa, core.TAR3D} {
+		tr, err := e.data.Build(lbsn.BuildOptions{
+			Grouping:    g,
+			NodeSize:    nodeSize,
+			EpochLength: epochLength,
+			Cutoff:      cutoff,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[g.String()] = tr
+	}
+	return out, nil
+}
+
+// measure runs the queries and returns the mean CPU time and mean node
+// accesses (R-tree node accesses; zero for the baseline, which scans).
+type measurement struct {
+	CPUMicros    float64
+	NodeAccesses float64
+	LeafAccesses float64
+	TIAAccesses  float64
+	MeanFk       float64
+}
+
+func measure(q queryable, queries []core.Query) (measurement, error) {
+	var m measurement
+	for _, qu := range queries {
+		start := time.Now()
+		res, stats, err := q.Query(qu)
+		if err != nil {
+			return m, err
+		}
+		m.CPUMicros += float64(time.Since(start).Microseconds())
+		m.NodeAccesses += float64(stats.RTreeAccesses())
+		m.LeafAccesses += float64(stats.LeafAccesses)
+		m.TIAAccesses += float64(stats.TIAAccesses)
+		if len(res) > 0 {
+			m.MeanFk += res[len(res)-1].Score
+		}
+	}
+	n := float64(len(queries))
+	m.CPUMicros /= n
+	m.NodeAccesses /= n
+	m.LeafAccesses /= n
+	m.TIAAccesses /= n
+	m.MeanFk /= n
+	return m, nil
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func ms(micros float64) string {
+	return fmt.Sprintf("%.3f", micros/1000)
+}

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps the smoke tests fast.
+func tinyConfig() Config {
+	return Config{Datasets: []string{"GS"}, Scale: 0.06, Queries: 20, Seed: 1}
+}
+
+func TestTablePrint(t *testing.T) {
+	tab := Table{
+		Title:  "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "long-header", "333"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	ds := c.datasets()
+	if len(ds) != 2 || ds[0] != "GW" || ds[1] != "GS" {
+		t.Errorf("default datasets = %v", ds)
+	}
+	if c.queries() != 200 {
+		t.Errorf("default queries = %d", c.queries())
+	}
+	if c.scaleFor("GW") != 0.5 {
+		t.Errorf("default GW scale = %v", c.scaleFor("GW"))
+	}
+	if (Config{Scale: 0.5}).scaleFor("GW") != 0.5 {
+		t.Error("explicit scale ignored")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := append(ExperimentIDs(), AblationIDs()...)
+	if len(ids) != len(Experiments) {
+		t.Fatalf("registry has %d entries, ids list %d", len(Experiments), len(ids))
+	}
+	for _, id := range ids {
+		if Experiments[id] == nil {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+}
+
+// TestAllExperimentsRun smoke-tests every experiment at a tiny scale: each
+// must produce non-empty tables with consistent row widths.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped in -short mode")
+	}
+	cfg := tinyConfig()
+	for _, id := range ExperimentIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tables, err := Experiments[id](cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Fatalf("table %q has no rows", tab.Title)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Header) {
+						t.Fatalf("table %q row width %d != header %d", tab.Title, len(row), len(tab.Header))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFig9TARWins checks the headline claim on the generated data: at every
+// k the TAR-tree needs no more node accesses than IND-spa and IND-agg.
+func TestFig9TARWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := tinyConfig()
+	cfg.Scale = 0.3 // enough POIs that pruning matters
+	cfg.Queries = 60
+	tables, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accesses := map[string]map[string]float64{} // k -> method -> NA
+	for _, row := range tables[0].Rows {
+		k, method, na := row[0], row[1], row[3]
+		if na == "-" {
+			continue
+		}
+		v, err := strconv.ParseFloat(na, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accesses[k] == nil {
+			accesses[k] = map[string]float64{}
+		}
+		accesses[k][method] = v
+	}
+	// At the smoke-test scale individual k points are noisy (a handful of
+	// node accesses); assert over the whole sweep, and that no single point
+	// is a blowout.
+	totals := map[string]float64{}
+	for k, m := range accesses {
+		for method, v := range m {
+			totals[method] += v
+		}
+		if m["TAR-tree"] > m["IND-spa"]*1.5 || m["TAR-tree"] > m["IND-agg"]*1.5 {
+			t.Errorf("k=%s: TAR-tree %.1f far worse than alternatives (%.1f / %.1f)",
+				k, m["TAR-tree"], m["IND-spa"], m["IND-agg"])
+		}
+	}
+	if totals["TAR-tree"] >= totals["IND-spa"] {
+		t.Errorf("sweep total: TAR-tree %.1f not better than IND-spa %.1f", totals["TAR-tree"], totals["IND-spa"])
+	}
+	if totals["TAR-tree"] >= totals["IND-agg"] {
+		t.Errorf("sweep total: TAR-tree %.1f not better than IND-agg %.1f", totals["TAR-tree"], totals["IND-agg"])
+	}
+}
+
+// TestAblationsRun smoke-tests the ablation experiments.
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := tinyConfig()
+	for _, id := range AblationIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tables, err := Experiments[id](cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 || len(tables[0].Rows) == 0 {
+				t.Fatal("empty result")
+			}
+		})
+	}
+}
+
+func TestClassLayers(t *testing.T) {
+	// All zeros: a single zero layer, maxAgg floor of 1.
+	layers, maxAgg := classLayers([]int64{0, 0, 0})
+	if len(layers) != 1 || layers[0].X != 0 || maxAgg != 1 {
+		t.Fatalf("zero-only layers = %v maxAgg=%d", layers, maxAgg)
+	}
+	// Mixed data: layers ascend in X and cover the total population.
+	aggs := make([]int64, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		if i%3 == 0 {
+			aggs = append(aggs, 0)
+		} else {
+			aggs = append(aggs, int64(1+i%40))
+		}
+	}
+	layers, maxAgg = classLayers(aggs)
+	if maxAgg != 40 {
+		t.Errorf("maxAgg = %d", maxAgg)
+	}
+	prev := int64(-1)
+	var total float64
+	for _, l := range layers {
+		if l.X <= prev {
+			t.Fatalf("layers out of order at %d", l.X)
+		}
+		prev = l.X
+		total += l.Count
+	}
+	// The modeled population is within 20% of the actual count (the
+	// power-law tail replaces the empirical tail).
+	if total < 2400 || total > 3600 {
+		t.Errorf("modeled population = %.0f, actual 3000", total)
+	}
+}

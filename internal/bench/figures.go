@@ -1,0 +1,562 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tartree/internal/batch"
+	"tartree/internal/core"
+	"tartree/internal/costmodel"
+	"tartree/internal/lbsn"
+	"tartree/internal/mwa"
+	"tartree/internal/powerlaw"
+	"tartree/internal/tia"
+)
+
+const (
+	defaultNodeSize = 1024
+	defaultEpoch    = 7 * lbsn.Day
+	defaultK        = 10
+	defaultAlpha    = 0.3
+	// effectiveFanoutRatio is the classic 69% node utilization (Theodoridis
+	// & Sellis) the cost analysis assumes.
+	effectiveFanoutRatio = 0.69
+)
+
+// Table4 reports the generated data set statistics next to the paper's
+// calibration targets (Table 4).
+func Table4(cfg Config) ([]Table, error) {
+	t := Table{
+		Title:  "Table 4: data sets (generated at the configured scale vs paper targets at scale 1)",
+		Header: []string{"name", "scale", "locations", "check-ins", "paper locations", "paper check-ins", "effective POIs"},
+	}
+	for _, name := range cfg.datasets() {
+		spec, err := lbsn.SpecByName(name)
+		if err != nil {
+			return nil, err
+		}
+		env, err := newEnv(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		eff := 0
+		for i := range env.data.POIs {
+			if env.data.POIs[i].Total() >= spec.MinEffective {
+				eff++
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%.2f", cfg.scaleFor(name)),
+			fmt.Sprintf("%d", len(env.data.POIs)),
+			fmt.Sprintf("%d", env.data.TotalCheckIns()),
+			fmt.Sprintf("%d", spec.Locations),
+			fmt.Sprintf("%d", spec.CheckIns),
+			fmt.Sprintf("%d", eff),
+		})
+	}
+	return []Table{t}, nil
+}
+
+// Table2 fits a discrete power law to the per-POI check-in totals of each
+// data set and reports n, β̂, x̂min and the bootstrap p-value (Table 2).
+func Table2(cfg Config) ([]Table, error) {
+	t := Table{
+		Title:  "Table 2: power-law fitting of per-POI check-in totals",
+		Header: []string{"data", "n", "beta-hat", "xmin-hat", "p-value", "paper beta", "paper xmin"},
+	}
+	for _, name := range cfg.datasets() {
+		env, err := newEnv(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		totals := env.data.Totals()
+		fit, err := powerlaw.Estimate(totals, powerlaw.FitOptions{})
+		if err != nil {
+			return nil, err
+		}
+		p, err := powerlaw.PValue(totals, fit, 50, rand.New(rand.NewSource(cfg.Seed+7)))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%d", fit.N),
+			f2(fit.Beta),
+			fmt.Sprintf("%d", fit.Xmin),
+			f2(p),
+			f2(env.data.Spec.Beta),
+			fmt.Sprintf("%d", env.data.Spec.Xmin),
+		})
+	}
+	return []Table{t}, nil
+}
+
+// classLayers builds cost-model layers from the aggregate values of every
+// indexed POI over a query-interval class: the empirical body below the
+// fitted x̂min plus the fitted power-law tail, the paper's modelling choice
+// in Section 6.1.
+func classLayers(aggs []int64) ([]costmodel.Layer, int64) {
+	var maxAgg int64 = 1
+	var nonzero []int64
+	zeros := 0.0
+	for _, a := range aggs {
+		if a > maxAgg {
+			maxAgg = a
+		}
+		if a > 0 {
+			nonzero = append(nonzero, a)
+		} else {
+			zeros++
+		}
+	}
+	empirical := costmodel.EmpiricalLayers(aggs)
+	fit, err := powerlaw.Estimate(nonzero, powerlaw.FitOptions{})
+	if err != nil {
+		return empirical, maxAgg
+	}
+	var layers []costmodel.Layer
+	for _, l := range empirical {
+		if l.X < fit.Xmin {
+			layers = append(layers, l)
+		}
+	}
+	tail, err := costmodel.PowerLawLayers(float64(fit.NTail), fit.Beta, fit.Xmin, maxAgg, 0)
+	if err != nil {
+		return empirical, maxAgg
+	}
+	layers = append(layers, tail...)
+	return layers, maxAgg
+}
+
+// estimateForQueries runs the Section 6 cost model per interval-length
+// class and returns the query-weighted mean estimated f(pk) and leaf node
+// accesses.
+func estimateForQueries(tr *core.Tree, queries []core.Query, k int, alpha0, fanout float64) (float64, float64, error) {
+	type class struct {
+		n  int
+		iv tia.Interval
+	}
+	classes := map[int64]*class{}
+	for _, q := range queries {
+		l := q.Iq.End - q.Iq.Start
+		if c, ok := classes[l]; ok {
+			c.n++
+		} else {
+			classes[l] = &class{n: 1, iv: q.Iq}
+		}
+	}
+	var ids []int64
+	tr.POIs(func(p core.POI, total int64) bool { ids = append(ids, p.ID); return true })
+	var fkSum, naSum float64
+	total := 0
+	for _, c := range classes {
+		aggs := make([]int64, 0, len(ids))
+		for _, id := range ids {
+			a, err := tr.AggregateMirror(id, c.iv)
+			if err != nil {
+				return 0, 0, err
+			}
+			aggs = append(aggs, a)
+		}
+		layers, maxAgg := classLayers(aggs)
+		p := costmodel.Params{
+			Alpha0: alpha0,
+			K:      k,
+			Fanout: fanout,
+			MaxAgg: maxAgg,
+			Layers: layers,
+		}
+		fk, na, err := p.Estimate()
+		if err != nil {
+			return 0, 0, err
+		}
+		fkSum += fk * float64(c.n)
+		naSum += na * float64(c.n)
+		total += c.n
+	}
+	return fkSum / float64(total), naSum / float64(total), nil
+}
+
+// costValidation is the shared driver for Figures 6 and 7.
+func costValidation(cfg Config, title string, ks []int, alphas []float64) ([]Table, error) {
+	var tables []Table
+	fanout := effectiveFanoutRatio * float64(core.CapacityFor(defaultNodeSize, 3))
+	for _, name := range cfg.datasets() {
+		env, err := newEnv(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := env.data.Build(lbsn.BuildOptions{Grouping: core.TAR3D})
+		if err != nil {
+			return nil, err
+		}
+		t := Table{
+			Title:  fmt.Sprintf("%s (%s)", title, name),
+			Header: []string{"k", "alpha0", "measured f(pk)", "estimated f(pk)", "measured leaf NA", "estimated leaf NA"},
+		}
+		for _, k := range ks {
+			for _, a := range alphas {
+				queries := env.data.Queries(cfg.queries(), k, a, cfg.Seed+int64(k*1000)+int64(a*100))
+				m, err := measure(tr, queries)
+				if err != nil {
+					return nil, err
+				}
+				estFk, estNA, err := estimateForQueries(tr, queries, k, a, fanout)
+				if err != nil {
+					return nil, err
+				}
+				t.Rows = append(t.Rows, []string{
+					fmt.Sprintf("%d", k), f2(a),
+					f3(m.MeanFk), f3(estFk),
+					f1(m.LeafAccesses), f1(estNA),
+				})
+			}
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig6 validates the cost analysis varying k (Figure 6).
+func Fig6(cfg Config) ([]Table, error) {
+	return costValidation(cfg, "Figure 6: cost analysis validation, varying k",
+		[]int{1, 5, 10, 50, 100}, []float64{defaultAlpha})
+}
+
+// Fig7 validates the cost analysis varying α0 (Figure 7).
+func Fig7(cfg Config) ([]Table, error) {
+	return costValidation(cfg, "Figure 7: cost analysis validation, varying alpha0",
+		[]int{defaultK}, []float64{0.1, 0.3, 0.5, 0.7, 0.9})
+}
+
+// methodSweep measures the four methods over one axis of variation.
+func methodSweep(cfg Config, name, title, axis string,
+	points []string,
+	build func(env *dataEnv, point string) (map[string]queryable, error),
+	queriesFor func(env *dataEnv, point string) []core.Query,
+) (Table, error) {
+	env, err := newEnv(cfg, name)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		Title:  fmt.Sprintf("%s (%s)", title, name),
+		Header: []string{axis, "method", "CPU time (ms)", "node accesses"},
+	}
+	for _, pt := range points {
+		methods, err := build(env, pt)
+		if err != nil {
+			return Table{}, err
+		}
+		queries := queriesFor(env, pt)
+		for _, mn := range methodNames {
+			m, err := measure(methods[mn], queries)
+			if err != nil {
+				return Table{}, err
+			}
+			na := "-"
+			if mn != "baseline" {
+				na = f1(m.NodeAccesses)
+			}
+			t.Rows = append(t.Rows, []string{pt, mn, ms(m.CPUMicros), na})
+		}
+	}
+	return t, nil
+}
+
+// Fig8 evaluates the methods while the LBSN grows: snapshots at 20%..100%
+// of the time span (Figure 8).
+func Fig8(cfg Config) ([]Table, error) {
+	var tables []Table
+	for _, name := range cfg.datasets() {
+		points := []string{"20%", "40%", "60%", "80%", "100%"}
+		fracs := map[string]float64{"20%": 0.2, "40%": 0.4, "60%": 0.6, "80%": 0.8, "100%": 1.0}
+		t, err := methodSweep(cfg, name, "Figure 8: effect of the LBSN growing with time", "time",
+			points,
+			func(env *dataEnv, pt string) (map[string]queryable, error) {
+				return env.buildAll(defaultNodeSize, defaultEpoch, env.data.SnapshotEnd(fracs[pt]))
+			},
+			func(env *dataEnv, pt string) []core.Query {
+				return env.data.QueriesUntil(cfg.queries(), defaultK, defaultAlpha, cfg.Seed, env.data.SnapshotEnd(fracs[pt]))
+			})
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig9 varies k from 1 to 100 (Figure 9).
+func Fig9(cfg Config) ([]Table, error) {
+	return paramSweep(cfg, "Figure 9: varying k", "k",
+		[]string{"1", "5", "10", "50", "100"},
+		func(pt string) (int, float64) {
+			var k int
+			fmt.Sscanf(pt, "%d", &k)
+			return k, defaultAlpha
+		})
+}
+
+// Fig10 varies α0 from 0.1 to 0.9 (Figure 10).
+func Fig10(cfg Config) ([]Table, error) {
+	return paramSweep(cfg, "Figure 10: varying alpha0", "alpha0",
+		[]string{"0.1", "0.3", "0.5", "0.7", "0.9"},
+		func(pt string) (int, float64) {
+			var a float64
+			fmt.Sscanf(pt, "%f", &a)
+			return defaultK, a
+		})
+}
+
+// paramSweep builds the four methods once per dataset and sweeps a query
+// parameter (k or α0).
+func paramSweep(cfg Config, title, axis string, points []string, parse func(string) (int, float64)) ([]Table, error) {
+	var tables []Table
+	for _, name := range cfg.datasets() {
+		env, err := newEnv(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		methods, err := env.buildAll(defaultNodeSize, defaultEpoch, 0)
+		if err != nil {
+			return nil, err
+		}
+		t := Table{
+			Title:  fmt.Sprintf("%s (%s)", title, name),
+			Header: []string{axis, "method", "CPU time (ms)", "node accesses"},
+		}
+		for _, pt := range points {
+			k, a := parse(pt)
+			queries := env.data.Queries(cfg.queries(), k, a, cfg.Seed)
+			for _, mn := range methodNames {
+				m, err := measure(methods[mn], queries)
+				if err != nil {
+					return nil, err
+				}
+				na := "-"
+				if mn != "baseline" {
+					na = f1(m.NodeAccesses)
+				}
+				t.Rows = append(t.Rows, []string{pt, mn, ms(m.CPUMicros), na})
+			}
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig11 varies the epoch length from 1 to 28 days (Figure 11).
+func Fig11(cfg Config) ([]Table, error) {
+	var tables []Table
+	for _, name := range cfg.datasets() {
+		t, err := methodSweep(cfg, name, "Figure 11: varying the epoch length", "epoch (days)",
+			[]string{"1", "3", "7", "14", "28"},
+			func(env *dataEnv, pt string) (map[string]queryable, error) {
+				var days int64
+				fmt.Sscanf(pt, "%d", &days)
+				return env.buildAll(defaultNodeSize, days*lbsn.Day, 0)
+			},
+			func(env *dataEnv, pt string) []core.Query {
+				return env.data.Queries(cfg.queries(), defaultK, defaultAlpha, cfg.Seed)
+			})
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig12 varies the R-tree node size from 512 to 8192 bytes (Figure 12).
+func Fig12(cfg Config) ([]Table, error) {
+	var tables []Table
+	for _, name := range cfg.datasets() {
+		t, err := methodSweep(cfg, name, "Figure 12: varying the R-tree node size", "node size (B)",
+			[]string{"512", "1024", "2048", "4096", "8192"},
+			func(env *dataEnv, pt string) (map[string]queryable, error) {
+				var b int
+				fmt.Sscanf(pt, "%d", &b)
+				return env.buildAll(b, defaultEpoch, 0)
+			},
+			func(env *dataEnv, pt string) []core.Query {
+				return env.data.Queries(cfg.queries(), defaultK, defaultAlpha, cfg.Seed)
+			})
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// mwaSweep drives Figures 13 and 14.
+func mwaSweep(cfg Config, title, axis string, points []string, parse func(string) (int, float64)) ([]Table, error) {
+	var tables []Table
+	nq := cfg.queries()
+	if nq > 20 {
+		nq = 20 // enumerating is deliberately expensive; 20 queries suffice
+	}
+	for _, name := range cfg.datasets() {
+		env, err := newEnv(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := env.data.Build(lbsn.BuildOptions{Grouping: core.TAR3D})
+		if err != nil {
+			return nil, err
+		}
+		t := Table{
+			Title:  fmt.Sprintf("%s (%s)", title, name),
+			Header: []string{axis, "method", "CPU time (ms)", "node accesses"},
+		}
+		for _, pt := range points {
+			k, a := parse(pt)
+			if k >= tr.Len() {
+				continue
+			}
+			queries := env.data.Queries(nq, k, a, cfg.Seed)
+			for _, alg := range []struct {
+				name string
+				run  func(*core.Tree, core.Query) ([]core.Result, mwa.Adjustment, core.QueryStats, error)
+			}{{"enumerating", mwa.Enumerating}, {"pruning", mwa.Pruning}} {
+				var cpuMicros, na float64
+				for _, q := range queries {
+					start := time.Now()
+					_, _, stats, err := alg.run(tr, q)
+					if err != nil {
+						return nil, err
+					}
+					cpuMicros += float64(time.Since(start).Microseconds())
+					na += float64(stats.RTreeAccesses())
+				}
+				t.Rows = append(t.Rows, []string{pt, alg.name,
+					ms(cpuMicros / float64(len(queries))), f1(na / float64(len(queries)))})
+			}
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig13 compares the MWA algorithms varying k (Figure 13).
+func Fig13(cfg Config) ([]Table, error) {
+	return mwaSweep(cfg, "Figure 13: computing the MWA, varying k", "k",
+		[]string{"10", "50", "100", "500", "1000"},
+		func(pt string) (int, float64) {
+			var k int
+			fmt.Sscanf(pt, "%d", &k)
+			return k, defaultAlpha
+		})
+}
+
+// Fig14 compares the MWA algorithms varying α0 (Figure 14).
+func Fig14(cfg Config) ([]Table, error) {
+	return mwaSweep(cfg, "Figure 14: computing the MWA, varying alpha0", "alpha0",
+		[]string{"0.1", "0.3", "0.5", "0.7", "0.9"},
+		func(pt string) (int, float64) {
+			var a float64
+			fmt.Sscanf(pt, "%f", &a)
+			return defaultK, a
+		})
+}
+
+// collectiveSweep drives Figures 15 and 16. The TIAs run unbuffered to
+// expose the effect of memory buffering, per the paper's setup.
+func collectiveSweep(cfg Config, title, axis string, points []string,
+	queriesFor func(env *dataEnv, pt string) []core.Query) ([]Table, error) {
+	var tables []Table
+	for _, name := range cfg.datasets() {
+		env, err := newEnv(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		fac := tia.NewBTreeFactory(defaultNodeSize, 0)
+		tr, err := env.data.Build(lbsn.BuildOptions{Grouping: core.TAR3D, TIA: fac})
+		if err != nil {
+			return nil, err
+		}
+		t := Table{
+			Title:  fmt.Sprintf("%s (%s)", title, name),
+			Header: []string{axis, "method", "CPU time (ms)", "node accesses"},
+		}
+		for _, pt := range points {
+			queries := queriesFor(env, pt)
+			for _, mode := range []struct {
+				name string
+				run  func() (core.QueryStats, error)
+			}{
+				{"individual", func() (core.QueryStats, error) {
+					_, s, err := batch.ProcessIndividually(tr, queries)
+					return s, err
+				}},
+				{"collective", func() (core.QueryStats, error) {
+					_, s, err := batch.Process(tr, queries)
+					return s, err
+				}},
+			} {
+				start := time.Now()
+				stats, err := mode.run()
+				if err != nil {
+					return nil, err
+				}
+				cpuMicros := float64(time.Since(start).Microseconds())
+				n := float64(len(queries))
+				// Node accesses include the unbuffered TIA page reads.
+				na := (float64(stats.RTreeAccesses()) + float64(stats.TIAPhysical)) / n
+				t.Rows = append(t.Rows, []string{pt, mode.name, ms(cpuMicros / n), f1(na)})
+			}
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig15 varies the number of queries in a batch (Figure 15).
+func Fig15(cfg Config) ([]Table, error) {
+	return collectiveSweep(cfg, "Figure 15: collective processing, varying the number of queries",
+		"queries", []string{"100", "500", "1000", "5000", "10000"},
+		func(env *dataEnv, pt string) []core.Query {
+			var n int
+			fmt.Sscanf(pt, "%d", &n)
+			ivs := env.data.QueryIntervals(5, 11)
+			return env.data.QueriesWithIntervals(n, defaultK, defaultAlpha, 13, ivs)
+		})
+}
+
+// Fig16 varies the number of query types — distinct intervals (Figure 16).
+func Fig16(cfg Config) ([]Table, error) {
+	return collectiveSweep(cfg, "Figure 16: collective processing, varying the number of query types",
+		"types", []string{"1", "5", "10", "50", "100"},
+		func(env *dataEnv, pt string) []core.Query {
+			var types int
+			fmt.Sscanf(pt, "%d", &types)
+			ivs := env.data.QueryIntervals(types, 11)
+			return env.data.QueriesWithIntervals(1000, defaultK, defaultAlpha, 13, ivs)
+		})
+}
+
+// Experiments maps experiment ids to their runners.
+var Experiments = map[string]func(Config) ([]Table, error){
+	"table2": Table2,
+	"table4": Table4,
+	"fig6":   Fig6,
+	"fig7":   Fig7,
+	"fig8":   Fig8,
+	"fig9":   Fig9,
+	"fig10":  Fig10,
+	"fig11":  Fig11,
+	"fig12":  Fig12,
+	"fig13":  Fig13,
+	"fig14":  Fig14,
+	"fig15":  Fig15,
+	"fig16":  Fig16,
+}
+
+// ExperimentIDs lists the experiment ids in the paper's order.
+func ExperimentIDs() []string {
+	return []string{"table2", "table4", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"}
+}

@@ -1,0 +1,618 @@
+// Package btree implements a disk-based B+-tree over a pagestore buffer
+// pool. It is the default backend for the TAR-tree's temporal indexes
+// (TIAs): keys are epoch start times and values are fixed-size records
+// holding the epoch end time and the aggregate value.
+//
+// The tree supports point updates (Put is insert-or-overwrite), lookups,
+// ordered range scans through linked leaves, deletion with rebalancing,
+// and Destroy, which returns every page to the underlying file — used when
+// an internal entry's TIA is rebuilt after an R-tree split.
+package btree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"tartree/internal/pagestore"
+)
+
+// Value is the fixed-size payload stored with each key. For a TIA record
+// ⟨ts, te, agg⟩ keyed by ts, Value is {te, agg}.
+type Value [2]int64
+
+const (
+	headerSize = 16 // flags(1) pad(1) count(2) next(4) pad(8)
+	leafEntry  = 8 + 16
+	innerEntry = 8 + 4 // key + child; one extra leading child per node
+
+	flagLeaf = 1
+)
+
+var (
+	errCorrupt = errors.New("btree: corrupt page")
+	// ErrTooSmall is returned by New when the page size cannot hold the
+	// minimum number of entries per node.
+	ErrTooSmall = errors.New("btree: page size too small")
+)
+
+// node is the in-memory decoding of a page.
+type node struct {
+	id       pagestore.PageID
+	leaf     bool
+	keys     []int64
+	vals     []Value            // leaf only; len == len(keys)
+	children []pagestore.PageID // inner only; len == len(keys)+1
+	next     pagestore.PageID   // leaf chain
+}
+
+// Tree is a disk-based B+-tree. It is not safe for concurrent mutation;
+// the TAR-tree serializes updates per TIA.
+type Tree struct {
+	buf       *pagestore.Buffer
+	root      pagestore.PageID
+	height    int // 1 = root is a leaf
+	count     int
+	leafCap   int
+	innerCap  int // max number of keys in an inner node
+	pageSize  int
+	scratch   []byte
+	destroyed bool
+}
+
+// New creates an empty B+-tree whose pages are allocated from buf.
+func New(buf *pagestore.Buffer) (*Tree, error) {
+	ps := buf.PageSize()
+	t := &Tree{
+		buf:      buf,
+		height:   1,
+		leafCap:  (ps - headerSize) / leafEntry,
+		innerCap: (ps - headerSize - 4) / innerEntry,
+		pageSize: ps,
+		scratch:  make([]byte, ps),
+	}
+	if t.leafCap < 3 || t.innerCap < 3 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooSmall, ps)
+	}
+	root, err := buf.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	if err := t.writeNode(&node{id: root, leaf: true}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Len returns the number of keys stored.
+func (t *Tree) Len() int { return t.count }
+
+// Height returns the number of levels (1 when the root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// LeafCap and InnerCap expose node capacities for tests and sizing.
+func (t *Tree) LeafCap() int  { return t.leafCap }
+func (t *Tree) InnerCap() int { return t.innerCap }
+
+func (t *Tree) readNode(id pagestore.PageID) (*node, error) {
+	page, err := t.buf.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	n := &node{id: id}
+	n.leaf = page[0]&flagLeaf != 0
+	cnt := int(binary.LittleEndian.Uint16(page[2:4]))
+	n.next = pagestore.PageID(binary.LittleEndian.Uint32(page[4:8]))
+	off := headerSize
+	if n.leaf {
+		if cnt > t.leafCap {
+			return nil, errCorrupt
+		}
+		n.keys = make([]int64, cnt)
+		n.vals = make([]Value, cnt)
+		for i := 0; i < cnt; i++ {
+			n.keys[i] = int64(binary.LittleEndian.Uint64(page[off:]))
+			n.vals[i][0] = int64(binary.LittleEndian.Uint64(page[off+8:]))
+			n.vals[i][1] = int64(binary.LittleEndian.Uint64(page[off+16:]))
+			off += leafEntry
+		}
+		return n, nil
+	}
+	if cnt > t.innerCap {
+		return nil, errCorrupt
+	}
+	n.keys = make([]int64, cnt)
+	n.children = make([]pagestore.PageID, cnt+1)
+	n.children[0] = pagestore.PageID(binary.LittleEndian.Uint32(page[off:]))
+	off += 4
+	for i := 0; i < cnt; i++ {
+		n.keys[i] = int64(binary.LittleEndian.Uint64(page[off:]))
+		n.children[i+1] = pagestore.PageID(binary.LittleEndian.Uint32(page[off+8:]))
+		off += innerEntry
+	}
+	return n, nil
+}
+
+func (t *Tree) writeNode(n *node) error {
+	page := t.scratch
+	for i := range page {
+		page[i] = 0
+	}
+	if n.leaf {
+		page[0] = flagLeaf
+	}
+	binary.LittleEndian.PutUint16(page[2:4], uint16(len(n.keys)))
+	binary.LittleEndian.PutUint32(page[4:8], uint32(n.next))
+	off := headerSize
+	if n.leaf {
+		for i, k := range n.keys {
+			binary.LittleEndian.PutUint64(page[off:], uint64(k))
+			binary.LittleEndian.PutUint64(page[off+8:], uint64(n.vals[i][0]))
+			binary.LittleEndian.PutUint64(page[off+16:], uint64(n.vals[i][1]))
+			off += leafEntry
+		}
+	} else {
+		binary.LittleEndian.PutUint32(page[off:], uint32(n.children[0]))
+		off += 4
+		for i, k := range n.keys {
+			binary.LittleEndian.PutUint64(page[off:], uint64(k))
+			binary.LittleEndian.PutUint32(page[off+8:], uint32(n.children[i+1]))
+			off += innerEntry
+		}
+	}
+	return t.buf.Put(n.id, page)
+}
+
+// search returns the index of the first key >= k.
+func search(keys []int64, k int64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value stored under key, and whether it exists.
+func (t *Tree) Get(key int64) (Value, bool, error) {
+	id := t.root
+	for level := t.height; level > 1; level-- {
+		n, err := t.readNode(id)
+		if err != nil {
+			return Value{}, false, err
+		}
+		i := search(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			i++ // separator keys equal to the key route right
+		}
+		id = n.children[i]
+	}
+	n, err := t.readNode(id)
+	if err != nil {
+		return Value{}, false, err
+	}
+	i := search(n.keys, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		return n.vals[i], true, nil
+	}
+	return Value{}, false, nil
+}
+
+// Put inserts key with value v, overwriting any existing value.
+func (t *Tree) Put(key int64, v Value) error {
+	sepKey, right, added, err := t.insert(t.root, t.height, key, v)
+	if err != nil {
+		return err
+	}
+	if added {
+		t.count++
+	}
+	if right != pagestore.InvalidPage {
+		// Grow a new root.
+		id, err := t.buf.Alloc()
+		if err != nil {
+			return err
+		}
+		root := &node{
+			id:       id,
+			keys:     []int64{sepKey},
+			children: []pagestore.PageID{t.root, right},
+		}
+		if err := t.writeNode(root); err != nil {
+			return err
+		}
+		t.root = id
+		t.height++
+	}
+	return nil
+}
+
+// insert descends to the leaf, inserts and splits upward. It returns the
+// separator key and new right sibling when the visited node split.
+func (t *Tree) insert(id pagestore.PageID, level int, key int64, v Value) (int64, pagestore.PageID, bool, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return 0, pagestore.InvalidPage, false, err
+	}
+	if level == 1 {
+		i := search(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			n.vals[i] = v
+			return 0, pagestore.InvalidPage, false, t.writeNode(n)
+		}
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, Value{})
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = v
+		if len(n.keys) <= t.leafCap {
+			return 0, pagestore.InvalidPage, true, t.writeNode(n)
+		}
+		// Split the leaf.
+		mid := len(n.keys) / 2
+		rid, err := t.buf.Alloc()
+		if err != nil {
+			return 0, pagestore.InvalidPage, false, err
+		}
+		right := &node{
+			id:   rid,
+			leaf: true,
+			keys: append([]int64(nil), n.keys[mid:]...),
+			vals: append([]Value(nil), n.vals[mid:]...),
+			next: n.next,
+		}
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+		n.next = rid
+		if err := t.writeNode(n); err != nil {
+			return 0, pagestore.InvalidPage, false, err
+		}
+		if err := t.writeNode(right); err != nil {
+			return 0, pagestore.InvalidPage, false, err
+		}
+		return right.keys[0], rid, true, nil
+	}
+
+	i := search(n.keys, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		i++
+	}
+	sep, rchild, added, err := t.insert(n.children[i], level-1, key, v)
+	if err != nil || rchild == pagestore.InvalidPage {
+		return 0, pagestore.InvalidPage, added, err
+	}
+	// Insert separator and new child into this inner node.
+	n.keys = append(n.keys, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = sep
+	n.children = append(n.children, pagestore.InvalidPage)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = rchild
+	if len(n.keys) <= t.innerCap {
+		return 0, pagestore.InvalidPage, added, t.writeNode(n)
+	}
+	// Split the inner node; the middle key moves up.
+	mid := len(n.keys) / 2
+	upKey := n.keys[mid]
+	rid, err := t.buf.Alloc()
+	if err != nil {
+		return 0, pagestore.InvalidPage, false, err
+	}
+	right := &node{
+		id:       rid,
+		keys:     append([]int64(nil), n.keys[mid+1:]...),
+		children: append([]pagestore.PageID(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	if err := t.writeNode(n); err != nil {
+		return 0, pagestore.InvalidPage, false, err
+	}
+	if err := t.writeNode(right); err != nil {
+		return 0, pagestore.InvalidPage, false, err
+	}
+	return upKey, rid, added, nil
+}
+
+// Scan visits all pairs with lo <= key <= hi in ascending key order,
+// stopping early when fn returns false.
+func (t *Tree) Scan(lo, hi int64, fn func(key int64, v Value) bool) error {
+	id := t.root
+	for level := t.height; level > 1; level-- {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		i := search(n.keys, lo)
+		if i < len(n.keys) && n.keys[i] == lo {
+			i++
+		}
+		id = n.children[i]
+	}
+	for id != pagestore.InvalidPage {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		for i := search(n.keys, lo); i < len(n.keys); i++ {
+			if n.keys[i] > hi {
+				return nil
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return nil
+			}
+		}
+		id = n.next
+	}
+	return nil
+}
+
+// Delete removes key; it reports whether the key was present.
+func (t *Tree) Delete(key int64) (bool, error) {
+	removed, _, err := t.remove(t.root, t.height, key)
+	if err != nil {
+		return false, err
+	}
+	if removed {
+		t.count--
+	}
+	// Collapse the root when an inner root has a single child.
+	for t.height > 1 {
+		n, err := t.readNode(t.root)
+		if err != nil {
+			return removed, err
+		}
+		if len(n.keys) > 0 {
+			break
+		}
+		old := t.root
+		t.root = n.children[0]
+		t.height--
+		if err := t.buf.Free(old); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+func (t *Tree) minKeys(level int) int {
+	if level == 1 {
+		return t.leafCap / 2
+	}
+	return t.innerCap / 2
+}
+
+// remove deletes key from the subtree rooted at id. The second result
+// reports whether the node at id is now underfull (its parent rebalances).
+func (t *Tree) remove(id pagestore.PageID, level int, key int64) (bool, bool, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return false, false, err
+	}
+	if level == 1 {
+		i := search(n.keys, key)
+		if i >= len(n.keys) || n.keys[i] != key {
+			return false, false, nil
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		if err := t.writeNode(n); err != nil {
+			return false, false, err
+		}
+		return true, len(n.keys) < t.minKeys(1), nil
+	}
+	i := search(n.keys, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		i++
+	}
+	removed, under, err := t.remove(n.children[i], level-1, key)
+	if err != nil || !under {
+		return removed, false, err
+	}
+	if err := t.rebalance(n, i, level-1); err != nil {
+		return removed, false, err
+	}
+	return removed, len(n.keys) < t.minKeys(level), nil
+}
+
+// rebalance fixes the underfull child at position i of parent p by
+// borrowing from or merging with a sibling.
+func (t *Tree) rebalance(p *node, i, childLevel int) error {
+	child, err := t.readNode(p.children[i])
+	if err != nil {
+		return err
+	}
+	min := t.minKeys(childLevel)
+
+	// Try to borrow from the left sibling.
+	if i > 0 {
+		left, err := t.readNode(p.children[i-1])
+		if err != nil {
+			return err
+		}
+		if len(left.keys) > min {
+			if child.leaf {
+				k := left.keys[len(left.keys)-1]
+				v := left.vals[len(left.vals)-1]
+				left.keys = left.keys[:len(left.keys)-1]
+				left.vals = left.vals[:len(left.vals)-1]
+				child.keys = append([]int64{k}, child.keys...)
+				child.vals = append([]Value{v}, child.vals...)
+				p.keys[i-1] = k
+			} else {
+				// Rotate through the parent separator.
+				child.keys = append([]int64{p.keys[i-1]}, child.keys...)
+				child.children = append([]pagestore.PageID{left.children[len(left.children)-1]}, child.children...)
+				p.keys[i-1] = left.keys[len(left.keys)-1]
+				left.keys = left.keys[:len(left.keys)-1]
+				left.children = left.children[:len(left.children)-1]
+			}
+			if err := t.writeNode(left); err != nil {
+				return err
+			}
+			if err := t.writeNode(child); err != nil {
+				return err
+			}
+			return t.writeNode(p)
+		}
+	}
+	// Try to borrow from the right sibling.
+	if i < len(p.children)-1 {
+		right, err := t.readNode(p.children[i+1])
+		if err != nil {
+			return err
+		}
+		if len(right.keys) > min {
+			if child.leaf {
+				child.keys = append(child.keys, right.keys[0])
+				child.vals = append(child.vals, right.vals[0])
+				right.keys = right.keys[1:]
+				right.vals = right.vals[1:]
+				p.keys[i] = right.keys[0]
+			} else {
+				child.keys = append(child.keys, p.keys[i])
+				child.children = append(child.children, right.children[0])
+				p.keys[i] = right.keys[0]
+				right.keys = right.keys[1:]
+				right.children = right.children[1:]
+			}
+			if err := t.writeNode(right); err != nil {
+				return err
+			}
+			if err := t.writeNode(child); err != nil {
+				return err
+			}
+			return t.writeNode(p)
+		}
+	}
+	// Merge with a sibling. Normalize so we merge child i into i-1.
+	j := i
+	if j == 0 {
+		j = 1
+	}
+	left, err := t.readNode(p.children[j-1])
+	if err != nil {
+		return err
+	}
+	right, err := t.readNode(p.children[j])
+	if err != nil {
+		return err
+	}
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, p.keys[j-1])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	p.keys = append(p.keys[:j-1], p.keys[j:]...)
+	p.children = append(p.children[:j], p.children[j+1:]...)
+	if err := t.writeNode(left); err != nil {
+		return err
+	}
+	if err := t.buf.Free(right.id); err != nil {
+		return err
+	}
+	return t.writeNode(p)
+}
+
+// Destroy frees every page of the tree. The tree must not be used after.
+func (t *Tree) Destroy() error {
+	if t.destroyed {
+		return nil
+	}
+	t.destroyed = true
+	return t.freeSubtree(t.root, t.height)
+}
+
+func (t *Tree) freeSubtree(id pagestore.PageID, level int) error {
+	if level > 1 {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		for _, c := range n.children {
+			if err := t.freeSubtree(c, level-1); err != nil {
+				return err
+			}
+		}
+	}
+	return t.buf.Free(id)
+}
+
+// Check validates structural invariants (ordering, fill factors, leaf
+// chaining, key count). Intended for tests.
+func (t *Tree) Check() error {
+	total, _, _, err := t.check(t.root, t.height, nil, nil, true)
+	if err != nil {
+		return err
+	}
+	if total != t.count {
+		return fmt.Errorf("btree: count mismatch: counted %d, recorded %d", total, t.count)
+	}
+	return nil
+}
+
+func (t *Tree) check(id pagestore.PageID, level int, lo, hi *int64, isRoot bool) (int, pagestore.PageID, pagestore.PageID, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if n.leaf != (level == 1) {
+		return 0, 0, 0, fmt.Errorf("btree: node %d leaf flag mismatch at level %d", id, level)
+	}
+	for i := 1; i < len(n.keys); i++ {
+		if n.keys[i-1] >= n.keys[i] {
+			return 0, 0, 0, fmt.Errorf("btree: node %d keys out of order", id)
+		}
+	}
+	for _, k := range n.keys {
+		if lo != nil && k < *lo || hi != nil && k >= *hi {
+			return 0, 0, 0, fmt.Errorf("btree: node %d key %d outside separator range", id, k)
+		}
+	}
+	if !isRoot && len(n.keys) < t.minKeys(level) {
+		return 0, 0, 0, fmt.Errorf("btree: node %d underfull (%d keys at level %d)", id, len(n.keys), level)
+	}
+	if n.leaf {
+		return len(n.keys), id, id, nil
+	}
+	total := 0
+	var firstLeaf, prevLast pagestore.PageID
+	for i, c := range n.children {
+		clo, chi := lo, hi
+		if i > 0 {
+			clo = &n.keys[i-1]
+		}
+		if i < len(n.keys) {
+			chi = &n.keys[i]
+		}
+		cnt, fl, ll, err := t.check(c, level-1, clo, chi, false)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		total += cnt
+		if i == 0 {
+			firstLeaf = fl
+		} else if level == 2 {
+			// Verify the leaf chain between consecutive children.
+			prev, err := t.readNode(prevLast)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			if prev.next != fl {
+				return 0, 0, 0, fmt.Errorf("btree: broken leaf chain at %d -> %d", prevLast, fl)
+			}
+		}
+		prevLast = ll
+	}
+	return total, firstLeaf, prevLast, nil
+}

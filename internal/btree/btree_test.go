@@ -1,0 +1,358 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tartree/internal/pagestore"
+)
+
+func newTestTree(t *testing.T, pageSize int) *Tree {
+	t.Helper()
+	buf := pagestore.NewBuffer(pagestore.NewMemFile(pageSize), 64)
+	tr, err := New(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestPageSizeTooSmall(t *testing.T) {
+	buf := pagestore.NewBuffer(pagestore.NewMemFile(32), 4)
+	if _, err := New(buf); err == nil {
+		t.Fatal("expected error for tiny pages")
+	}
+}
+
+func TestCapacitiesAt1024(t *testing.T) {
+	tr := newTestTree(t, 1024)
+	if tr.LeafCap() != (1024-16)/24 {
+		t.Errorf("leaf cap = %d", tr.LeafCap())
+	}
+	if tr.InnerCap() != (1024-20)/12 {
+		t.Errorf("inner cap = %d", tr.InnerCap())
+	}
+}
+
+func TestPutGetBasic(t *testing.T) {
+	tr := newTestTree(t, 256)
+	if _, ok, _ := tr.Get(5); ok {
+		t.Fatal("empty tree returned a value")
+	}
+	if err := tr.Put(5, Value{50, 500}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := tr.Get(5)
+	if err != nil || !ok || v != (Value{50, 500}) {
+		t.Fatalf("get = %v %v %v", v, ok, err)
+	}
+	// Overwrite.
+	if err := tr.Put(5, Value{51, 501}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := tr.Get(5); v != (Value{51, 501}) {
+		t.Fatalf("overwrite failed: %v", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestInsertManySequential(t *testing.T) {
+	tr := newTestTree(t, 128)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := tr.Put(int64(i), Value{int64(i + 1), int64(i * 2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d, want %d", tr.Len(), n)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := tr.Get(int64(i))
+		if err != nil || !ok {
+			t.Fatalf("missing key %d: %v", i, err)
+		}
+		if v != (Value{int64(i + 1), int64(i * 2)}) {
+			t.Fatalf("key %d: value %v", i, v)
+		}
+	}
+	if tr.Height() < 2 {
+		t.Error("tree should have split with 2000 keys on 128B pages")
+	}
+}
+
+func TestInsertManyRandomOrder(t *testing.T) {
+	tr := newTestTree(t, 128)
+	r := rand.New(rand.NewSource(1))
+	keys := r.Perm(3000)
+	for _, k := range keys {
+		if err := tr.Put(int64(k), Value{int64(k), int64(-k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		v, ok, _ := tr.Get(int64(k))
+		if !ok || v != (Value{int64(k), int64(-k)}) {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+}
+
+func TestScan(t *testing.T) {
+	tr := newTestTree(t, 128)
+	// Insert even keys 0..198.
+	for i := 0; i < 100; i++ {
+		if err := tr.Put(int64(i*2), Value{int64(i * 2), 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []int64
+	if err := tr.Scan(11, 31, func(k int64, v Value) bool {
+		got = append(got, k)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{12, 14, 16, 18, 20, 22, 24, 26, 28, 30}
+	if len(got) != len(want) {
+		t.Fatalf("scan = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan = %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	tr.Scan(0, 1000, func(k int64, v Value) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop visited %d", count)
+	}
+	// Empty range.
+	visited := false
+	tr.Scan(500, 600, func(k int64, v Value) bool { visited = true; return true })
+	if visited {
+		t.Error("scan past max key visited entries")
+	}
+	// Inclusive bounds.
+	var incl []int64
+	tr.Scan(10, 12, func(k int64, v Value) bool { incl = append(incl, k); return true })
+	if len(incl) != 2 || incl[0] != 10 || incl[1] != 12 {
+		t.Errorf("inclusive scan = %v", incl)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := newTestTree(t, 128)
+	const n = 1500
+	for i := 0; i < n; i++ {
+		tr.Put(int64(i), Value{int64(i), 0})
+	}
+	// Delete a missing key.
+	if ok, err := tr.Delete(int64(n + 10)); err != nil || ok {
+		t.Fatalf("delete missing = %v %v", ok, err)
+	}
+	// Delete every third key.
+	for i := 0; i < n; i += 3 {
+		ok, err := tr.Delete(int64(i))
+		if err != nil || !ok {
+			t.Fatalf("delete %d failed: %v %v", i, ok, err)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		_, ok, _ := tr.Get(int64(i))
+		if (i%3 == 0) == ok {
+			t.Fatalf("key %d presence = %v", i, ok)
+		}
+	}
+	// Delete everything; the tree should collapse to an empty root leaf.
+	for i := 0; i < n; i++ {
+		tr.Delete(int64(i))
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len after full delete = %d", tr.Len())
+	}
+	if tr.Height() != 1 {
+		t.Fatalf("height after full delete = %d", tr.Height())
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Model check: random interleaving of put/delete/get/scan against a map.
+func TestModelCheck(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	tr := newTestTree(t, 128)
+	model := map[int64]Value{}
+	for step := 0; step < 20000; step++ {
+		k := int64(r.Intn(500))
+		switch r.Intn(10) {
+		case 0, 1, 2, 3: // put
+			v := Value{r.Int63n(100), r.Int63n(100)}
+			if err := tr.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		case 4, 5: // delete
+			ok, err := tr.Delete(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, want := model[k]
+			if ok != want {
+				t.Fatalf("step %d: delete(%d) = %v, want %v", step, k, ok, want)
+			}
+			delete(model, k)
+		case 6, 7, 8: // get
+			v, ok, err := tr.Get(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantOK := model[k]
+			if ok != wantOK || (ok && v != want) {
+				t.Fatalf("step %d: get(%d) = %v %v, want %v %v", step, k, v, ok, want, wantOK)
+			}
+		default: // full scan must match sorted model
+			var keys []int64
+			tr.Scan(-1, 1000, func(k int64, v Value) bool {
+				keys = append(keys, k)
+				if model[k] != v {
+					t.Fatalf("step %d: scan value mismatch at %d", step, k)
+				}
+				return true
+			})
+			if len(keys) != len(model) {
+				t.Fatalf("step %d: scan found %d keys, model has %d", step, len(keys), len(model))
+			}
+			if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+				t.Fatalf("step %d: scan out of order", step)
+			}
+		}
+		if step%2000 == 0 {
+			if err := tr.Check(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("len = %d, model = %d", tr.Len(), len(model))
+	}
+}
+
+func TestDestroyFreesAllPages(t *testing.T) {
+	f := pagestore.NewMemFile(128)
+	buf := pagestore.NewBuffer(f, 16)
+	tr, err := New(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		tr.Put(int64(i), Value{1, 2})
+	}
+	if f.NumPages() < 10 {
+		t.Fatalf("expected many pages, got %d", f.NumPages())
+	}
+	if err := tr.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumPages() != 0 {
+		t.Fatalf("pages leaked after destroy: %d", f.NumPages())
+	}
+	// Destroy is idempotent.
+	if err := tr.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeKeys(t *testing.T) {
+	tr := newTestTree(t, 128)
+	keys := []int64{-100, -1, 0, 1, 100}
+	for _, k := range keys {
+		tr.Put(k, Value{k, k})
+	}
+	var got []int64
+	tr.Scan(-200, 200, func(k int64, v Value) bool { got = append(got, k); return true })
+	for i, k := range keys {
+		if got[i] != k {
+			t.Fatalf("scan order with negatives = %v", got)
+		}
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	buf := pagestore.NewBuffer(pagestore.NewMemFile(1024), 256)
+	tr, _ := New(buf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(int64(i), Value{int64(i), 1})
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	buf := pagestore.NewBuffer(pagestore.NewMemFile(1024), 256)
+	tr, _ := New(buf)
+	for i := 0; i < 100000; i++ {
+		tr.Put(int64(i), Value{int64(i), 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(int64(i % 100000))
+	}
+}
+
+func TestScanEmptyTree(t *testing.T) {
+	tr := newTestTree(t, 128)
+	visited := false
+	if err := tr.Scan(-1000, 1000, func(k int64, v Value) bool { visited = true; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if visited {
+		t.Fatal("scan of empty tree visited entries")
+	}
+	if _, ok, _ := tr.Get(0); ok {
+		t.Fatal("get on empty tree")
+	}
+	if ok, _ := tr.Delete(0); ok {
+		t.Fatal("delete on empty tree")
+	}
+}
+
+func TestOverwriteAcrossSplits(t *testing.T) {
+	tr := newTestTree(t, 128)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		tr.Put(int64(i), Value{1, 1})
+	}
+	// Overwrite every key after the tree has split many times.
+	for i := 0; i < n; i++ {
+		tr.Put(int64(i), Value{2, int64(i)})
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d after overwrites", tr.Len())
+	}
+	for i := 0; i < n; i++ {
+		v, ok, _ := tr.Get(int64(i))
+		if !ok || v != (Value{2, int64(i)}) {
+			t.Fatalf("key %d = %v %v", i, v, ok)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

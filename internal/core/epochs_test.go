@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tartree/internal/tia"
+)
+
+func TestFixedEpochs(t *testing.T) {
+	e := FixedEpochs{Start: 100, Length: 10}
+	cases := []struct {
+		t    int64
+		want tia.Interval
+	}{
+		{100, tia.Interval{Start: 100, End: 110}},
+		{109, tia.Interval{Start: 100, End: 110}},
+		{110, tia.Interval{Start: 110, End: 120}},
+		{205, tia.Interval{Start: 200, End: 210}},
+	}
+	for _, c := range cases {
+		if got := e.EpochOf(c.t); got != c.want {
+			t.Errorf("EpochOf(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if got := e.Count(100); got != 1 {
+		t.Errorf("Count(origin) = %d", got)
+	}
+	if got := e.Count(105); got != 1 {
+		t.Errorf("Count(105) = %d", got)
+	}
+	if got := e.Count(110); got != 2 {
+		t.Errorf("Count(110) = %d", got)
+	}
+	if got := e.Count(129); got != 3 {
+		t.Errorf("Count(129) = %d", got)
+	}
+	if e.Origin() != 100 {
+		t.Error("origin")
+	}
+}
+
+func TestGeometricEpochs(t *testing.T) {
+	// First = 1h: epochs [0,1h), [1h,3h), [3h,7h), [7h,15h), ...
+	const h = 3600
+	e := GeometricEpochs{Start: 0, First: h}
+	cases := []struct {
+		t    int64
+		want tia.Interval
+	}{
+		{0, tia.Interval{Start: 0, End: h}},
+		{h - 1, tia.Interval{Start: 0, End: h}},
+		{h, tia.Interval{Start: h, End: 3 * h}},
+		{3 * h, tia.Interval{Start: 3 * h, End: 7 * h}},
+		{6*h + 30, tia.Interval{Start: 3 * h, End: 7 * h}},
+		{7 * h, tia.Interval{Start: 7 * h, End: 15 * h}},
+	}
+	for _, c := range cases {
+		if got := e.EpochOf(c.t); got != c.want {
+			t.Errorf("EpochOf(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if got := e.Count(0); got != 1 {
+		t.Errorf("Count(0) = %d", got)
+	}
+	if got := e.Count(h + 1); got != 2 {
+		t.Errorf("Count(h+1) = %d", got)
+	}
+	if got := e.Count(8 * h); got != 4 {
+		t.Errorf("Count(8h) = %d", got)
+	}
+}
+
+// Property: for any epoch scheme, EpochOf(t) contains t, epochs tile the
+// axis (EpochOf of the end is the next epoch), and Count is monotone.
+func TestEpochsProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	schemes := []Epochs{
+		FixedEpochs{Start: 0, Length: 7},
+		FixedEpochs{Start: -50, Length: 13},
+		GeometricEpochs{Start: 10, First: 3},
+	}
+	for _, e := range schemes {
+		if err := validateEpochs(e); err != nil {
+			t.Fatal(err)
+		}
+		f := func() bool {
+			at := e.Origin() + int64(r.Intn(1_000_000))
+			iv := e.EpochOf(at)
+			if !(iv.Start <= at && at < iv.End) {
+				return false
+			}
+			next := e.EpochOf(iv.End)
+			if next.Start != iv.End {
+				return false
+			}
+			return e.Count(at) <= e.Count(at+1000)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%T: %v", e, err)
+		}
+	}
+}
+
+// TestGeometricEpochTree runs the whole pipeline on a varied-length grid:
+// live ingestion, TIA aggregation and BFS-vs-brute-force equality. This is
+// the capability the paper claims the aRB-tree lacks.
+func TestGeometricEpochTree(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	opts := Options{
+		World:    world(0, 0, 100, 100),
+		Grouping: TAR3D,
+		Epochs:   GeometricEpochs{Start: 0, First: 10},
+	}
+	tr := mustTree(t, opts)
+	const n = 200
+	for i := 1; i <= n; i++ {
+		if err := tr.InsertPOI(POI{ID: int64(i), X: r.Float64() * 100, Y: r.Float64() * 100}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Check-ins over [0, 10000): epochs 10, 20, 40, ... long.
+	for i := 0; i < 5000; i++ {
+		id := int64(1 + r.Intn(n))
+		at := int64(r.Intn(10000))
+		if err := tr.AddCheckIn(id, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Aggregates against a brute-force bucketing.
+	e := opts.Epochs
+	iv := tia.Interval{Start: 30, End: 5000}
+	for id := int64(1); id <= 10; id++ {
+		got, err := tr.Aggregate(id, iv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mirror, err := tr.AggregateMirror(id, iv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != mirror {
+			t.Fatalf("POI %d: disk %d != mirror %d", id, got, mirror)
+		}
+		_ = e
+	}
+	// BFS equals brute force under the varied grid.
+	for trial := 0; trial < 10; trial++ {
+		q := Query{
+			X: r.Float64() * 100, Y: r.Float64() * 100,
+			Iq:     tia.Interval{Start: int64(r.Intn(100)), End: int64(1000 + r.Intn(9000))},
+			K:      5,
+			Alpha0: 0.3,
+		}
+		got, _, err := tr.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceQuery(t, tr, q)
+		for i := range want {
+			if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+				t.Fatalf("trial %d pos %d: %.9f vs %.9f", trial, i, got[i].Score, want[i].Score)
+			}
+		}
+	}
+}
+
+func TestEpochsValidation(t *testing.T) {
+	if err := validateEpochs(nil); err == nil {
+		t.Error("nil epochs accepted")
+	}
+	if err := validateEpochs(FixedEpochs{Start: 0, Length: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,438 @@
+package core
+
+import (
+	"container/heap"
+
+	"tartree/internal/geo"
+	"tartree/internal/rstar"
+	"tartree/internal/tia"
+)
+
+// QueryStats counts the work done by a query (or a batch of queries). Node
+// accesses are the paper's primary, machine-independent cost metric.
+type QueryStats struct {
+	// InternalAccesses and LeafAccesses count R-tree node reads.
+	InternalAccesses int
+	LeafAccesses     int
+	// TIAAccesses counts logical TIA page reads (buffer hits included);
+	// TIAPhysical counts the reads that reached the disk, which is what
+	// the buffering experiment of Section 8.4 varies.
+	TIAAccesses int64
+	TIAPhysical int64
+	// Scored counts entry score computations (TIA aggregate lookups before
+	// caching).
+	Scored int
+}
+
+// NodeAccesses returns R-tree plus logical TIA accesses, the total the
+// experiment figures report.
+func (s QueryStats) NodeAccesses() int64 {
+	return int64(s.InternalAccesses+s.LeafAccesses) + s.TIAAccesses
+}
+
+// RTreeAccesses returns only the R-tree node accesses.
+func (s QueryStats) RTreeAccesses() int { return s.InternalAccesses + s.LeafAccesses }
+
+// aggKey identifies a cached TIA aggregate.
+type aggKey struct {
+	idx tia.Index
+	iv  tia.Interval
+}
+
+// AggCache memoizes TIA aggregates per (index, interval). The collective
+// processing scheme of Section 7.2 shares one cache among the queries of a
+// batch that have the same query time interval.
+type AggCache map[aggKey]int64
+
+// Scorer computes query-dependent ranking scores of tree entries. A Scorer
+// is bound to one query (point, interval, weights) and one stats sink.
+type Scorer struct {
+	t     *Tree
+	q     Query
+	qv    geo.Vector // scaled query point
+	gmax  float64    // aggregate normalizer (per-query constant)
+	stats *QueryStats
+	cache AggCache
+}
+
+// NewScorer prepares a scorer for q, reading the per-query aggregate
+// normalizer from the tree's global per-epoch-maximum TIA.
+func (t *Tree) NewScorer(q Query, stats *QueryStats, cache AggCache) (*Scorer, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if cache == nil {
+		cache = make(AggCache)
+	}
+	sc := &Scorer{
+		t:     t,
+		q:     q,
+		qv:    t.scaled(q.X, q.Y),
+		stats: stats,
+		cache: cache,
+	}
+	gmax, err := sc.maxAggregate()
+	if err != nil {
+		return nil, err
+	}
+	sc.gmax = float64(gmax)
+	return sc, nil
+}
+
+// maxAggregate reads the normalization range of g(p, Iq) from the tree's
+// global per-epoch-maximum TIA: the sum of the global epoch maxima over the
+// interval, an upper bound on every POI's aggregate that is independent of
+// the grouping strategy (so all index variants rank identically). The read
+// counts toward the query's TIA accesses.
+func (sc *Scorer) maxAggregate() (int64, error) {
+	g := sc.t.global
+	key := aggKey{idx: g.disk, iv: sc.q.Iq}
+	if v, ok := sc.cache[key]; ok {
+		return v, nil
+	}
+	before := sc.t.opts.TIA.Stats()
+	a, err := g.disk.AggregateFunc(sc.q.Iq, sc.t.opts.Semantics, sc.t.opts.AggFunc)
+	if err != nil {
+		return 0, err
+	}
+	if sc.stats != nil {
+		after := sc.t.opts.TIA.Stats()
+		sc.stats.TIAAccesses += after.LogicalReads - before.LogicalReads
+		sc.stats.TIAPhysical += after.PhysicalReads - before.PhysicalReads
+	}
+	sc.cache[key] = a
+	return a, nil
+}
+
+// Query returns the query the scorer is bound to.
+func (sc *Scorer) Query() Query { return sc.q }
+
+// Gmax returns the per-query aggregate normalizer (0 when no check-in falls
+// inside the interval anywhere).
+func (sc *Scorer) Gmax() float64 { return sc.gmax }
+
+// aggregate reads (and caches) the entry's TIA aggregate over the query
+// interval, counting physical TIA page reads.
+func (sc *Scorer) aggregate(e rstar.Entry) (int64, error) {
+	d := e.Data.(*aggData)
+	key := aggKey{idx: d.disk, iv: sc.q.Iq}
+	if v, ok := sc.cache[key]; ok {
+		return v, nil
+	}
+	before := sc.t.opts.TIA.Stats()
+	a, err := d.disk.AggregateFunc(sc.q.Iq, sc.t.opts.Semantics, sc.t.opts.AggFunc)
+	if err != nil {
+		return 0, err
+	}
+	if sc.stats != nil {
+		after := sc.t.opts.TIA.Stats()
+		sc.stats.TIAAccesses += after.LogicalReads - before.LogicalReads
+		sc.stats.TIAPhysical += after.PhysicalReads - before.PhysicalReads
+		sc.stats.Scored++
+	}
+	sc.cache[key] = a
+	return a, nil
+}
+
+// Components returns the two score components of an entry: the normalized
+// spatial distance lower bound s0 and the aggregate term lower bound s1 =
+// 1 − g/Gmax. For leaf entries both are exact. Property 1 guarantees
+// α0·s0 + α1·s1 never exceeds the score of anything in the subtree.
+func (sc *Scorer) Components(e rstar.Entry) (s0, s1 float64, err error) {
+	s0 = geo.MinDist(sc.qv, e.Rect, 2) / sc.t.maxDistScaled
+	a, err := sc.aggregate(e)
+	if err != nil {
+		return 0, 0, err
+	}
+	if sc.gmax > 0 {
+		s1 = 1 - float64(a)/sc.gmax
+	} else {
+		s1 = 1
+	}
+	return s0, s1, nil
+}
+
+// Score combines the components with the query weights.
+func (sc *Scorer) Score(s0, s1 float64) float64 {
+	return sc.q.Alpha0*s0 + (1-sc.q.Alpha0)*s1
+}
+
+// resultOf builds a Result for a popped leaf entry.
+func (sc *Scorer) resultOf(e rstar.Entry, s0, s1 float64) Result {
+	st := sc.t.pois[int64(e.Item)]
+	var agg int64
+	if sc.gmax > 0 {
+		agg = int64((1-s1)*sc.gmax + 0.5)
+	}
+	return Result{
+		POI:   st.poi,
+		Score: sc.Score(s0, s1),
+		S0:    s0,
+		S1:    s1,
+		Agg:   agg,
+	}
+}
+
+// Elem is one element of the best-first priority queue: an entry with its
+// (lower-bound) score and components.
+type Elem struct {
+	Entry      rstar.Entry
+	Score      float64
+	S0, S1     float64
+	childLevel int // level of Entry.Child; -1 for leaf entries
+}
+
+// IsPOI reports whether the element is a leaf entry (an actual POI).
+func (el *Elem) IsPOI() bool { return el.Entry.Child == nil }
+
+// Node returns the child node of an internal element (nil for POIs). The
+// collective scheme uses pointer identity to detect shared front entries.
+func (el *Elem) Node() *rstar.Node { return el.Entry.Child }
+
+type elemHeap []*Elem
+
+func (h elemHeap) Len() int           { return len(h) }
+func (h elemHeap) Less(i, j int) bool { return h[i].Score < h[j].Score }
+func (h elemHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *elemHeap) Push(x any)        { *h = append(*h, x.(*Elem)) }
+func (h *elemHeap) Pop() any          { o := *h; n := len(o); x := o[n-1]; *h = o[:n-1]; return x }
+
+// Search is an incremental best-first search over the TAR-tree (Section
+// 4.3, after Hjaltason & Samet). Pop returns queue elements in ascending
+// score order; the caller decides whether to Expand internal elements,
+// which lets the weight-adjustment and skyline algorithms prune subtrees.
+//
+// CountAccesses can be disabled by batch processors that account for
+// shared node accesses themselves.
+type Search struct {
+	sc            *Scorer
+	queue         elemHeap
+	stats         *QueryStats
+	CountAccesses bool
+}
+
+// SearchOptions tunes NewSearchWith.
+type SearchOptions struct {
+	Stats *QueryStats
+	Cache AggCache
+	// Gmax supplies a precomputed aggregate normalizer; nil computes it
+	// with a branch-and-bound descent. The collective scheme computes it
+	// once per query-interval group.
+	Gmax *float64
+	// SkipAccessCounting suppresses node-access counting in Expand and on
+	// the root read; batch processors that share node accesses across
+	// queries account for them externally.
+	SkipAccessCounting bool
+}
+
+// NewSearch starts a best-first search for q. Reading the root node counts
+// as one internal node access.
+func (t *Tree) NewSearch(q Query, stats *QueryStats, cache AggCache) (*Search, error) {
+	return t.NewSearchWith(q, SearchOptions{Stats: stats, Cache: cache})
+}
+
+// NewSearchWith starts a best-first search with explicit options.
+func (t *Tree) NewSearchWith(q Query, o SearchOptions) (*Search, error) {
+	var sc *Scorer
+	var err error
+	if o.Gmax != nil {
+		sc, err = t.newScorerWithGmax(q, *o.Gmax, o.Stats, o.Cache)
+	} else {
+		sc, err = t.NewScorer(q, o.Stats, o.Cache)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &Search{sc: sc, stats: o.Stats, CountAccesses: !o.SkipAccessCounting}
+	root := t.rt.Root()
+	if o.Stats != nil && !o.SkipAccessCounting {
+		if root.Level == 0 {
+			o.Stats.LeafAccesses++
+		} else {
+			o.Stats.InternalAccesses++
+		}
+	}
+	for _, e := range root.Entries {
+		if err := s.push(e); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// newScorerWithGmax builds a scorer using a precomputed normalizer.
+func (t *Tree) newScorerWithGmax(q Query, gmax float64, stats *QueryStats, cache AggCache) (*Scorer, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if cache == nil {
+		cache = make(AggCache)
+	}
+	return &Scorer{t: t, q: q, qv: t.scaled(q.X, q.Y), gmax: gmax, stats: stats, cache: cache}, nil
+}
+
+// MaxAggregate reads the normalization range for iv (the sum of the global
+// per-epoch maxima over the interval), counting its accesses into stats.
+// The collective scheme calls it once per query-interval group.
+func (t *Tree) MaxAggregate(iv tia.Interval, stats *QueryStats, cache AggCache) (int64, error) {
+	if cache == nil {
+		cache = make(AggCache)
+	}
+	sc := &Scorer{
+		t: t,
+		// Only Iq matters for aggregation; other fields are placeholders.
+		q:     Query{Iq: iv, K: 1, Alpha0: 0.5},
+		stats: stats,
+		cache: cache,
+	}
+	return sc.maxAggregate()
+}
+
+// Scorer returns the search's scorer.
+func (s *Search) Scorer() *Scorer { return s.sc }
+
+func (s *Search) push(e rstar.Entry) error {
+	s0, s1, err := s.sc.Components(e)
+	if err != nil {
+		return err
+	}
+	el := &Elem{Entry: e, S0: s0, S1: s1, Score: s.sc.Score(s0, s1), childLevel: -1}
+	if e.Child != nil {
+		el.childLevel = e.Child.Level
+	}
+	heap.Push(&s.queue, el)
+	return nil
+}
+
+// Peek returns the least-score element without removing it, or nil when
+// the queue is empty.
+func (s *Search) Peek() *Elem {
+	if len(s.queue) == 0 {
+		return nil
+	}
+	return s.queue[0]
+}
+
+// Pop removes and returns the least-score element, or nil when exhausted.
+func (s *Search) Pop() *Elem {
+	if len(s.queue) == 0 {
+		return nil
+	}
+	return heap.Pop(&s.queue).(*Elem)
+}
+
+// Expand pushes the children of an internal element, counting one node
+// access (when CountAccesses is set).
+func (s *Search) Expand(el *Elem) error {
+	n := el.Entry.Child
+	if n == nil {
+		return nil
+	}
+	if s.CountAccesses && s.stats != nil {
+		if n.Level == 0 {
+			s.stats.LeafAccesses++
+		} else {
+			s.stats.InternalAccesses++
+		}
+	}
+	for _, e := range n.Entries {
+		if err := s.push(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Next runs the search until the next POI emerges, returning nil when the
+// tree is exhausted.
+func (s *Search) Next() (*Result, error) {
+	for {
+		el := s.Pop()
+		if el == nil {
+			return nil, nil
+		}
+		if el.IsPOI() {
+			r := s.sc.resultOf(el.Entry, el.S0, el.S1)
+			return &r, nil
+		}
+		if err := s.Expand(el); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Result converts a POI element into a Result.
+func (s *Search) Result(el *Elem) Result {
+	return s.sc.resultOf(el.Entry, el.S0, el.S1)
+}
+
+// Query answers a kNNTA query with best-first search and returns the top-k
+// results in ascending score order together with the work counters.
+func (t *Tree) Query(q Query) ([]Result, QueryStats, error) {
+	var stats QueryStats
+	s, err := t.NewSearch(q, &stats, nil)
+	if err != nil {
+		return nil, stats, err
+	}
+	results := make([]Result, 0, q.K)
+	for len(results) < q.K {
+		r, err := s.Next()
+		if err != nil {
+			return nil, stats, err
+		}
+		if r == nil {
+			break
+		}
+		results = append(results, *r)
+	}
+	return results, stats, nil
+}
+
+// ScorePOI computes the exact ranking score of one POI for q (from the
+// in-memory mirror; no disk accesses). Tests and the sequential-scan
+// baseline use it.
+func (t *Tree) ScorePOI(q Query, id int64) (Result, error) {
+	if err := q.Validate(); err != nil {
+		return Result{}, err
+	}
+	st, ok := t.pois[id]
+	if !ok {
+		return Result{}, errUnknownPOI(id)
+	}
+	gmax, err := t.gmaxMirror(q.Iq)
+	if err != nil {
+		return Result{}, err
+	}
+	return t.scorePOIWith(q, st, gmax)
+}
+
+func (t *Tree) scorePOIWith(q Query, st *poiState, gmax float64) (Result, error) {
+	agg, err := st.data.mirror.AggregateFunc(q.Iq, t.opts.Semantics, t.opts.AggFunc)
+	if err != nil {
+		return Result{}, err
+	}
+	qv := t.scaled(q.X, q.Y)
+	s0 := geo.Dist(qv, st.loc, 2) / t.maxDistScaled
+	s1 := 1.0
+	if gmax > 0 {
+		s1 = 1 - float64(agg)/gmax
+	}
+	return Result{
+		POI:   st.poi,
+		Score: q.Alpha0*s0 + (1-q.Alpha0)*s1,
+		S0:    s0,
+		S1:    s1,
+		Agg:   agg,
+	}, nil
+}
+
+// gmaxMirror computes the per-query aggregate normalizer from the global
+// TIA's in-memory mirror (no disk accesses). It equals the Scorer's Gmax.
+func (t *Tree) gmaxMirror(iv tia.Interval) (float64, error) {
+	a, err := t.global.mirror.AggregateFunc(iv, t.opts.Semantics, t.opts.AggFunc)
+	return float64(a), err
+}
+
+type errUnknownPOI int64
+
+func (e errUnknownPOI) Error() string { return "core: unknown POI" }

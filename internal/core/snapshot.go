@@ -1,0 +1,118 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"tartree/internal/geo"
+	"tartree/internal/tia"
+)
+
+// snapshot is the serialized form of a tree: the POI registry with full
+// aggregate histories plus the options needed to rebuild. The R-tree
+// structure itself is not serialized — loading bulk-rebuilds it, which is
+// both simpler and typically yields a better-packed tree than the
+// incremental history would.
+type snapshot struct {
+	Version   int
+	World     [4]float64
+	NodeSize  int
+	Grouping  Grouping
+	Semantics tia.Semantics
+	AggFunc   tia.Func
+	// Epoch grid: fixed grids round-trip; custom Epochs implementations
+	// must be re-supplied at load time.
+	EpochStart  int64
+	EpochLength int64
+	Geometric   bool
+	Clock       int64
+	POIs        []snapshotPOI
+}
+
+type snapshotPOI struct {
+	ID      int64
+	X, Y    float64
+	Records []tia.Record
+}
+
+const snapshotVersion = 1
+
+// SaveSnapshot serializes the tree (POIs, histories, configuration) so a
+// later process can LoadSnapshot it without replaying the check-in stream.
+// Pending (unflushed) check-ins are not included; call FlushAll first.
+func (t *Tree) SaveSnapshot(w io.Writer) error {
+	if n := t.PendingCheckIns(); n > 0 {
+		return fmt.Errorf("core: %d check-ins pending; FlushAll before saving", n)
+	}
+	s := snapshot{
+		Version:   snapshotVersion,
+		World:     [4]float64{t.opts.World.Min[0], t.opts.World.Min[1], t.opts.World.Max[0], t.opts.World.Max[1]},
+		NodeSize:  t.opts.NodeSize,
+		Grouping:  t.opts.Grouping,
+		Semantics: t.opts.Semantics,
+		AggFunc:   t.opts.AggFunc,
+		Clock:     t.clock,
+	}
+	switch e := t.opts.Epochs.(type) {
+	case FixedEpochs:
+		s.EpochStart, s.EpochLength = e.Start, e.Length
+	case GeometricEpochs:
+		s.EpochStart, s.EpochLength, s.Geometric = e.Start, e.First, true
+	default:
+		return fmt.Errorf("core: cannot snapshot custom epoch scheme %T", e)
+	}
+	s.POIs = make([]snapshotPOI, 0, len(t.pois))
+	for _, st := range t.pois {
+		s.POIs = append(s.POIs, snapshotPOI{
+			ID:      st.poi.ID,
+			X:       st.poi.X,
+			Y:       st.poi.Y,
+			Records: append([]tia.Record(nil), st.data.mirror.Records()...),
+		})
+	}
+	return gob.NewEncoder(w).Encode(&s)
+}
+
+// LoadSnapshot reconstructs a tree saved with SaveSnapshot. The TIA factory
+// is supplied fresh (disk state is rebuilt, not deserialized); nil selects
+// the default. The index is bulk-rebuilt for spatial groupings.
+func LoadSnapshot(r io.Reader, factory tia.Factory) (*Tree, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", s.Version)
+	}
+	opts := Options{
+		World:     geo.Rect{Min: geo.Vector{s.World[0], s.World[1]}, Max: geo.Vector{s.World[2], s.World[3]}},
+		NodeSize:  s.NodeSize,
+		Grouping:  s.Grouping,
+		Semantics: s.Semantics,
+		AggFunc:   s.AggFunc,
+		TIA:       factory,
+	}
+	if s.Geometric {
+		opts.Epochs = GeometricEpochs{Start: s.EpochStart, First: s.EpochLength}
+	} else {
+		opts.EpochStart, opts.EpochLength = s.EpochStart, s.EpochLength
+	}
+	t, err := NewTree(opts)
+	if err != nil {
+		return nil, err
+	}
+	t.observe(s.Clock)
+	for _, p := range s.POIs {
+		if err := t.InsertPOI(POI{ID: p.ID, X: p.X, Y: p.Y}, p.Records); err != nil {
+			return nil, err
+		}
+	}
+	t.observe(s.Clock) // inserting history may have rewound nothing; re-pin
+	if t.opts.Grouping != IndAgg {
+		if err := t.RebuildBulk(); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"tartree/internal/tia"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, g := range []Grouping{TAR3D, IndSpa, IndAgg} {
+		t.Run(g.String(), func(t *testing.T) {
+			tr, r := buildRandomTree(t, g, 300, 17)
+			var buf bytes.Buffer
+			if err := tr.SaveSnapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got, err := LoadSnapshot(&buf, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Len() != tr.Len() {
+				t.Fatalf("len = %d, want %d", got.Len(), tr.Len())
+			}
+			if err := got.Check(); err != nil {
+				t.Fatal(err)
+			}
+			// Identical query results.
+			for trial := 0; trial < 10; trial++ {
+				q := Query{
+					X: r.Float64() * 100, Y: r.Float64() * 100,
+					Iq:     tia.Interval{Start: int64(r.Intn(100)), End: int64(120 + r.Intn(80))},
+					K:      5,
+					Alpha0: 0.3,
+				}
+				a, _, err := tr.Query(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, _, err := got.Query(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(a) != len(b) {
+					t.Fatalf("result counts differ")
+				}
+				for i := range a {
+					if math.Abs(a[i].Score-b[i].Score) > 1e-9 {
+						t.Fatalf("trial %d pos %d: %.9f vs %.9f", trial, i, a[i].Score, b[i].Score)
+					}
+				}
+			}
+			// The restored tree accepts further updates.
+			if err := got.InsertPOI(POI{ID: 9999, X: 2, Y: 2}, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := got.AddCheckIn(9999, got.clock+1); err != nil {
+				t.Fatal(err)
+			}
+			if err := got.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+			if err := got.Check(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSnapshotRejectsPending(t *testing.T) {
+	tr := mustTree(t, defaultOpts(TAR3D))
+	tr.InsertPOI(POI{ID: 1, X: 1, Y: 1}, nil)
+	tr.AddCheckIn(1, 5)
+	var buf bytes.Buffer
+	if err := tr.SaveSnapshot(&buf); err == nil {
+		t.Fatal("snapshot with pending check-ins accepted")
+	}
+	tr.FlushAll()
+	if err := tr.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotGeometricEpochs(t *testing.T) {
+	opts := Options{
+		World:    world(0, 0, 100, 100),
+		Grouping: TAR3D,
+		Epochs:   GeometricEpochs{Start: 0, First: 10},
+	}
+	tr := mustTree(t, opts)
+	tr.InsertPOI(POI{ID: 1, X: 5, Y: 5}, []tia.Record{{Ts: 0, Te: 10, Agg: 3}})
+	var buf bytes.Buffer
+	if err := tr.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshot(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.Epochs().(GeometricEpochs); !ok {
+		t.Fatalf("epochs = %T, want GeometricEpochs", got.Epochs())
+	}
+	a, _ := got.Aggregate(1, tia.Interval{Start: 0, End: 100})
+	if a != 3 {
+		t.Fatalf("aggregate = %d", a)
+	}
+}
+
+func TestSnapshotGarbage(t *testing.T) {
+	if _, err := LoadSnapshot(bytes.NewReader([]byte("not a snapshot")), nil); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,270 @@
+// Package costmodel implements the query-cost analysis of Section 6 of the
+// paper: the estimation of the kth result's ranking score f(pk) via the
+// cone-shaped search region over power-law aggregate layers (Section 6.2),
+// and the estimation of the number of leaf node accesses via bands of
+// cubic nodes intersected with the search cone (Section 6.3).
+//
+// The model views the data in a normalized 3-dimensional unit cube: two
+// spatial dimensions and an aggregate dimension where a POI with aggregate
+// value x sits on the layer at height h(x) = 1 − x/xmax. The query point is
+// at height 0, and the search region of a query with final score f is the
+// cone of base radius r0 = f/α0 and height hl = f/α1.
+package costmodel
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"tartree/internal/powerlaw"
+)
+
+// Layer is one aggregate value and the (expected) number of POIs holding it.
+type Layer struct {
+	X     int64   // aggregate value
+	Count float64 // number of POIs on the layer
+}
+
+// Params parameterizes the cost model for one query class.
+type Params struct {
+	// Alpha0 is the spatial weight; α1 = 1 − Alpha0.
+	Alpha0 float64
+	// K is the number of requested results.
+	K int
+	// Fanout is the effective fanout f of the tree: typically 69% of the
+	// node capacity (Theodoridis & Sellis, cited in Section 6.3).
+	Fanout float64
+	// MaxAgg is the largest aggregate value (the normalizer of the
+	// aggregate dimension).
+	MaxAgg int64
+	// Layers lists the POI population per aggregate value, ascending in X.
+	// Build it with PowerLawLayers (the paper's model) or EmpiricalLayers.
+	Layers []Layer
+	// DistScale converts normalized spatial distances into unit-square
+	// units. The ranking function divides distances by the diagonal of the
+	// space, so a normalized distance d corresponds to d·√2 in the unit
+	// square; the paper's formulas leave this implicit. Zero selects √2;
+	// set 1 to reproduce the paper's unscaled radii.
+	DistScale float64
+}
+
+func (p *Params) validate() error {
+	if p.Alpha0 <= 0 || p.Alpha0 >= 1 {
+		return errors.New("costmodel: α0 must be in (0, 1)")
+	}
+	if p.K <= 0 {
+		return errors.New("costmodel: k must be positive")
+	}
+	if p.Fanout <= 1 {
+		return errors.New("costmodel: fanout must exceed 1")
+	}
+	if p.MaxAgg <= 0 {
+		return errors.New("costmodel: MaxAgg must be positive")
+	}
+	if len(p.Layers) == 0 {
+		return errors.New("costmodel: no layers")
+	}
+	if !sort.SliceIsSorted(p.Layers, func(i, j int) bool { return p.Layers[i].X < p.Layers[j].X }) {
+		return errors.New("costmodel: layers must be ascending in X")
+	}
+	if p.DistScale == 0 {
+		p.DistScale = math.Sqrt2
+	}
+	return nil
+}
+
+// height returns h(x) = 1 − x/xmax, clamped to [0, 1].
+func (p *Params) height(x int64) float64 {
+	h := 1 - float64(x)/float64(p.MaxAgg)
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
+// expectedDiscArea returns E[S_{D(q,r) ∩ U}]: the expected area of a disc
+// of radius r centered at a uniform point of the unit square, clipped to
+// the square (Section 6.2, after Tao et al.).
+func expectedDiscArea(r float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	a := math.SqrtPi * r
+	if a >= 2 {
+		return 1
+	}
+	e := a - a*a/4
+	return e * e
+}
+
+// coneRadius returns the search-cone radius at height h for final score f,
+// in unit-square units (0 above the cone).
+func (p *Params) coneRadius(f, h float64) float64 {
+	hl := f / (1 - p.Alpha0)
+	if h >= hl {
+		return 0
+	}
+	r0 := p.DistScale * f / p.Alpha0
+	return r0 * (hl - h) / hl
+}
+
+// expectedInRegion returns the expected number of POIs inside the search
+// region of a query with final score f: Σ_x N(x)·E[S_{D(q,r_x) ∩ U_x}].
+func (p *Params) expectedInRegion(f float64) float64 {
+	total := 0.0
+	for _, l := range p.Layers {
+		r := p.coneRadius(f, p.height(l.X))
+		total += l.Count * expectedDiscArea(r)
+	}
+	return total
+}
+
+// EstimateFk solves k = Σ_x N(x)·E[S_{D(q,r_x) ∩ U_x}] for the expected
+// ranking score of the kth result, by bisection (the count is monotone in
+// f). It returns 1 when even the full cube holds fewer than k POIs.
+func (p *Params) EstimateFk() (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	lo, hi := 0.0, 1.0
+	if p.expectedInRegion(hi) < float64(p.K) {
+		return 1, nil
+	}
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if p.expectedInRegion(mid) < float64(p.K) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// Band is one slab of cubic leaf nodes produced by the node-access
+// estimation (exported for tests and for cost-model introspection).
+type Band struct {
+	TopLayer, BottomLayer int     // indexes into Layers
+	Count                 float64 // expected number of nodes in the band
+	Side                  float64 // node extent (side length) S_y
+	Radius                float64 // cone cross-section radius at the band bottom
+	P                     float64 // access probability of a node in the band
+}
+
+// EstimateLeafAccesses computes the expected number of leaf node accesses
+// NA(α, k) for a query whose final score is fk (Section 6.3): the unit
+// cube is cut into bands of cubic nodes whose spatial extent matches their
+// height, and each band contributes (ΣN/f)·P_y with P_y derived from the
+// Minkowski sum of the node extent and the cone cross-section.
+func (p *Params) EstimateLeafAccesses(fk float64) (float64, []Band, error) {
+	if err := p.validate(); err != nil {
+		return 0, nil, err
+	}
+	hl := fk / (1 - p.Alpha0)
+	var bands []Band
+	total := 0.0
+	start := 0
+	for start < len(p.Layers) {
+		hx := p.height(p.Layers[start].X)
+		sum := 0.0
+		y := start
+		side := 0.0
+		for ; y < len(p.Layers); y++ {
+			sum += p.Layers[y].Count
+			side = p.nodeSide(sum)
+			dh := hx - p.height(p.Layers[y].X)
+			if side <= dh {
+				break
+			}
+		}
+		if y == len(p.Layers) {
+			y--
+		}
+		hy := p.height(p.Layers[y].X)
+		band := Band{TopLayer: start, BottomLayer: y, Count: sum / p.Fanout, Side: side}
+		if hy < hl { // the band reaches into the cone
+			band.Radius = p.coneRadius(fk, hy)
+			band.P = accessProbability(side, band.Radius)
+		}
+		total += band.Count * band.P
+		bands = append(bands, band)
+		start = y + 1
+	}
+	return total, bands, nil
+}
+
+// nodeSide returns the spatial node extent S_y for a band holding n POIs:
+// (1 − 1/f)·min(f/n, 1)^{1/2} (Böhm's model, Section 6.3).
+func (p *Params) nodeSide(n float64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	m := p.Fanout / n
+	if m > 1 {
+		m = 1
+	}
+	return (1 - 1/p.Fanout) * math.Sqrt(m)
+}
+
+// accessProbability is P_y: the probability that a node of side s in the
+// band intersects the cone cross-section of radius r, with boundary
+// effects (Section 6.3). L_y is the side of the square whose area equals
+// the Minkowski sum of the node and the disc: L² = s² + 4sr + πr².
+func accessProbability(s, r float64) float64 {
+	l := math.Sqrt(s*s + 4*s*r + math.Pi*r*r)
+	if l+s >= 2 || s >= 1 {
+		return 1
+	}
+	p := (4*l - (l+s)*(l+s)) / (4 * (1 - s))
+	p *= p
+	if p > 1 {
+		return 1
+	}
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// Estimate runs the full pipeline: f(pk) then the leaf node accesses.
+func (p *Params) Estimate() (fk, leafAccesses float64, err error) {
+	fk, err = p.EstimateFk()
+	if err != nil {
+		return 0, 0, err
+	}
+	leafAccesses, _, err = p.EstimateLeafAccesses(fk)
+	return fk, leafAccesses, err
+}
+
+// PowerLawLayers builds the layer population the paper's analysis uses:
+// N(x) = N·p(x) with p(x) = x^−β/ζ(β, xmin) for x in [xmin, xmax], plus an
+// optional zero layer of POIs with no check-ins in the interval (height 1).
+func PowerLawLayers(n float64, beta float64, xmin, xmax int64, zeroCount float64) ([]Layer, error) {
+	d, err := powerlaw.NewDist(beta, xmin)
+	if err != nil {
+		return nil, err
+	}
+	var layers []Layer
+	if zeroCount > 0 {
+		layers = append(layers, Layer{X: 0, Count: zeroCount})
+	}
+	for x := xmin; x <= xmax; x++ {
+		layers = append(layers, Layer{X: x, Count: n * d.PMF(x)})
+	}
+	return layers, nil
+}
+
+// EmpiricalLayers builds layers from observed aggregate values (zeros
+// included as the height-1 layer).
+func EmpiricalLayers(aggs []int64) []Layer {
+	counts := map[int64]float64{}
+	for _, a := range aggs {
+		counts[a]++
+	}
+	layers := make([]Layer, 0, len(counts))
+	for x, c := range counts {
+		layers = append(layers, Layer{X: x, Count: c})
+	}
+	sort.Slice(layers, func(i, j int) bool { return layers[i].X < layers[j].X })
+	return layers
+}

@@ -1,0 +1,289 @@
+package costmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func uniformLayers(n int, perLayer float64) []Layer {
+	layers := make([]Layer, n)
+	for i := range layers {
+		layers[i] = Layer{X: int64(i + 1), Count: perLayer}
+	}
+	return layers
+}
+
+func TestValidation(t *testing.T) {
+	good := Params{Alpha0: 0.3, K: 10, Fanout: 34.5, MaxAgg: 100, Layers: uniformLayers(10, 5)}
+	if _, err := good.EstimateFk(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{Alpha0: 0, K: 10, Fanout: 30, MaxAgg: 10, Layers: uniformLayers(5, 1)},
+		{Alpha0: 0.3, K: 0, Fanout: 30, MaxAgg: 10, Layers: uniformLayers(5, 1)},
+		{Alpha0: 0.3, K: 10, Fanout: 0.5, MaxAgg: 10, Layers: uniformLayers(5, 1)},
+		{Alpha0: 0.3, K: 10, Fanout: 30, MaxAgg: 0, Layers: uniformLayers(5, 1)},
+		{Alpha0: 0.3, K: 10, Fanout: 30, MaxAgg: 10},
+		{Alpha0: 0.3, K: 10, Fanout: 30, MaxAgg: 10,
+			Layers: []Layer{{X: 5, Count: 1}, {X: 2, Count: 1}}},
+	}
+	for i, p := range bad {
+		if _, err := p.EstimateFk(); err == nil {
+			t.Errorf("params %d accepted", i)
+		}
+	}
+}
+
+func TestExpectedDiscArea(t *testing.T) {
+	if got := expectedDiscArea(0); got != 0 {
+		t.Errorf("r=0 area = %v", got)
+	}
+	// Huge radius covers the whole unit square.
+	if got := expectedDiscArea(5); got != 1 {
+		t.Errorf("huge r area = %v", got)
+	}
+	// Small radius: E ≈ πr² (boundary effects vanish).
+	r := 0.01
+	got := expectedDiscArea(r)
+	want := math.Pi * r * r
+	if math.Abs(got-want)/want > 0.02 {
+		t.Errorf("small r area = %v, want ≈%v", got, want)
+	}
+	// Monotone in r.
+	prev := 0.0
+	for r := 0.0; r <= 1.2; r += 0.01 {
+		a := expectedDiscArea(r)
+		if a < prev-1e-12 {
+			t.Fatalf("area not monotone at r=%v", r)
+		}
+		prev = a
+	}
+}
+
+func TestAccessProbabilityLimits(t *testing.T) {
+	// Zero radius, tiny node: probability ~ s² (the node must contain the
+	// cross-section point).
+	s := 0.05
+	got := accessProbability(s, 0)
+	if math.Abs(got-s*s)/(s*s) > 0.2 {
+		t.Errorf("P(s=%v, r=0) = %v, want ≈%v", s, got, s*s)
+	}
+	// Large node or large Minkowski sum: certainty.
+	if got := accessProbability(0.9, 0.9); got != 1 {
+		t.Errorf("large-sum P = %v", got)
+	}
+	// Monotone in r for fixed s.
+	prev := 0.0
+	for r := 0.0; r < 1; r += 0.01 {
+		p := accessProbability(0.1, r)
+		if p < prev-1e-12 {
+			t.Fatalf("P not monotone at r=%v", r)
+		}
+		prev = p
+	}
+}
+
+func TestFkMonotoneInK(t *testing.T) {
+	layers, err := PowerLawLayers(10000, 2.5, 1, 500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, k := range []int{1, 5, 10, 50, 100} {
+		p := Params{Alpha0: 0.3, K: k, Fanout: 24.8, MaxAgg: 500, Layers: layers}
+		fk, err := p.EstimateFk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fk <= prev {
+			t.Errorf("f(p%d) = %v not greater than f at smaller k (%v)", k, fk, prev)
+		}
+		prev = fk
+	}
+}
+
+func TestAccessesGrowWithK(t *testing.T) {
+	layers, _ := PowerLawLayers(10000, 2.5, 1, 500, 0)
+	prev := 0.0
+	for _, k := range []int{1, 10, 100} {
+		p := Params{Alpha0: 0.3, K: k, Fanout: 24.8, MaxAgg: 500, Layers: layers}
+		_, na, err := p.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if na <= prev {
+			t.Errorf("NA at k=%d (%v) not greater than at smaller k (%v)", k, na, prev)
+		}
+		prev = na
+	}
+}
+
+func TestEstimateAgainstSimulation(t *testing.T) {
+	// Monte-Carlo validation of the model's own assumptions: POIs uniform
+	// in the unit square with power-law aggregates, uniform query points.
+	// The model is fed the *realized* empirical layers — the paper itself
+	// reports that the continuous power-law layer counts misestimate when
+	// fractional populations near the maximum aggregate matter (its small-k
+	// inaccuracy on GS in Figure 6).
+	r := rand.New(rand.NewSource(5))
+	const n = 20000
+	aggs := make([]int64, n)
+	var maxAgg int64
+	for i := range aggs {
+		// Zeta(2.5) sample, capped.
+		x := int64(1)
+		u := r.Float64()
+		cum, norm := 0.0, 1.3414872572509171 // ζ(2.5)
+		for x < 300 {
+			cum += math.Pow(float64(x), -2.5) / norm
+			if u < cum {
+				break
+			}
+			x++
+		}
+		aggs[i] = x
+		if x > maxAgg {
+			maxAgg = x
+		}
+	}
+	layers := EmpiricalLayers(aggs)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	hs := make([]float64, n)
+	for i := range aggs {
+		xs[i], ys[i] = r.Float64(), r.Float64()
+		hs[i] = 1 - float64(aggs[i])/float64(maxAgg)
+	}
+	diag := math.Sqrt2
+	for _, k := range []int{1, 10, 50} {
+		p := Params{Alpha0: 0.3, K: k, Fanout: 24.8, MaxAgg: maxAgg, Layers: layers}
+		est, err := p.EstimateFk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Simulate: average the kth score over random query points.
+		simSum := 0.0
+		const trials = 60
+		scores := make([]float64, n)
+		for trial := 0; trial < trials; trial++ {
+			qx, qy := r.Float64(), r.Float64()
+			for i := 0; i < n; i++ {
+				d := math.Hypot(xs[i]-qx, ys[i]-qy) / diag
+				scores[i] = 0.3*d + 0.7*hs[i]
+			}
+			simSum += kthSmallest(scores, k)
+		}
+		sim := simSum / trials
+		if math.Abs(est-sim) > 0.25*sim+0.02 {
+			t.Errorf("k=%d: estimated f(pk)=%.4f, simulated %.4f", k, est, sim)
+		}
+	}
+}
+
+func kthSmallest(xs []float64, k int) float64 {
+	s := append([]float64(nil), xs...)
+	// Partial selection is overkill for a test.
+	for i := 0; i < k; i++ {
+		min := i
+		for j := i + 1; j < len(s); j++ {
+			if s[j] < s[min] {
+				min = j
+			}
+		}
+		s[i], s[min] = s[min], s[i]
+	}
+	return s[k-1]
+}
+
+func TestBandsPartitionLayers(t *testing.T) {
+	layers, _ := PowerLawLayers(5000, 2.8, 1, 200, 0)
+	p := Params{Alpha0: 0.3, K: 10, Fanout: 24.8, MaxAgg: 200, Layers: layers}
+	fk, _ := p.EstimateFk()
+	_, bands, err := p.EstimateLeafAccesses(fk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bands) == 0 {
+		t.Fatal("no bands")
+	}
+	// Bands must cover the layers exactly once, in order.
+	next := 0
+	for _, b := range bands {
+		if b.TopLayer != next {
+			t.Fatalf("band starts at %d, want %d", b.TopLayer, next)
+		}
+		if b.BottomLayer < b.TopLayer {
+			t.Fatalf("inverted band %+v", b)
+		}
+		next = b.BottomLayer + 1
+	}
+	if next != len(layers) {
+		t.Fatalf("bands cover %d layers of %d", next, len(layers))
+	}
+	// Node sides shrink toward denser (higher) layers — with a power law
+	// the first band (smallest aggregates, most POIs) has the smallest side.
+	if len(bands) >= 2 && bands[0].Side > bands[len(bands)-1].Side {
+		t.Errorf("expected smaller nodes in the dense band: %v vs %v",
+			bands[0].Side, bands[len(bands)-1].Side)
+	}
+}
+
+func TestZeroLayer(t *testing.T) {
+	layers, err := PowerLawLayers(1000, 2.5, 1, 100, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layers[0].X != 0 || layers[0].Count != 500 {
+		t.Fatalf("zero layer = %+v", layers[0])
+	}
+}
+
+func TestEmpiricalLayers(t *testing.T) {
+	layers := EmpiricalLayers([]int64{0, 0, 3, 1, 3, 3})
+	want := []Layer{{0, 2}, {1, 1}, {3, 3}}
+	if len(layers) != len(want) {
+		t.Fatalf("layers = %v", layers)
+	}
+	for i := range want {
+		if layers[i] != want[i] {
+			t.Fatalf("layers = %v, want %v", layers, want)
+		}
+	}
+}
+
+func TestHeightClamps(t *testing.T) {
+	p := Params{MaxAgg: 10}
+	if got := p.height(0); got != 1 {
+		t.Errorf("h(0) = %v", got)
+	}
+	if got := p.height(10); got != 0 {
+		t.Errorf("h(max) = %v", got)
+	}
+	if got := p.height(20); got != 0 {
+		t.Errorf("h above max = %v", got)
+	}
+}
+
+func TestPaperExampleSearchRegion(t *testing.T) {
+	// Section 6.2's example: α0 = 0.3, α1 = 0.7, f(pk) = 0.058 implies
+	// r0 = 0.192 and hl = 0.082 (with the paper's unscaled radii).
+	p := Params{Alpha0: 0.3, K: 1, Fanout: 24.8, MaxAgg: 12,
+		Layers: uniformLayers(12, 1), DistScale: 1}
+	if err := p.validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := 0.058
+	r0 := p.coneRadius(f, 0)
+	if math.Abs(r0-0.192) > 0.002 {
+		t.Errorf("r0 = %.4f, want ≈0.192", r0)
+	}
+	hl := f / 0.7
+	if math.Abs(hl-0.082) > 0.002 {
+		t.Errorf("hl = %.4f, want ≈0.082", hl)
+	}
+	// At the cone top the radius is zero.
+	if got := p.coneRadius(f, hl); got != 0 {
+		t.Errorf("radius at cone top = %v", got)
+	}
+}

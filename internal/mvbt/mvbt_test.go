@@ -1,0 +1,421 @@
+package mvbt
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tartree/internal/pagestore"
+)
+
+func newTestTree(t *testing.T, pageSize int) *Tree {
+	t.Helper()
+	buf := pagestore.NewBuffer(pagestore.NewMemFile(pageSize), 128)
+	tr, err := New(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTooSmall(t *testing.T) {
+	buf := pagestore.NewBuffer(pagestore.NewMemFile(64), 4)
+	if _, err := New(buf); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestInsertGetCurrent(t *testing.T) {
+	tr := newTestTree(t, 1024)
+	if err := tr.Insert(10, 5, Value{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := tr.Get(10, 5)
+	if err != nil || !ok || v != (Value{1, 2}) {
+		t.Fatalf("get = %v %v %v", v, ok, err)
+	}
+	// Before its insertion version, the key does not exist.
+	if _, ok, _ := tr.Get(9, 5); ok {
+		t.Fatal("key visible before insertion version")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestVersionOrderEnforced(t *testing.T) {
+	tr := newTestTree(t, 1024)
+	if err := tr.Insert(10, 1, Value{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(5, 2, Value{}); err == nil {
+		t.Fatal("expected version-order error")
+	}
+	if _, err := tr.Delete(5, 1); err == nil {
+		t.Fatal("expected version-order error for delete")
+	}
+}
+
+func TestDoubleInsertRejected(t *testing.T) {
+	tr := newTestTree(t, 1024)
+	tr.Insert(1, 7, Value{1, 0})
+	if err := tr.Insert(2, 7, Value{2, 0}); err == nil {
+		t.Fatal("expected duplicate-key error")
+	}
+}
+
+func TestDeleteAndHistory(t *testing.T) {
+	tr := newTestTree(t, 1024)
+	tr.Insert(1, 7, Value{70, 0})
+	ok, err := tr.Delete(5, 7)
+	if err != nil || !ok {
+		t.Fatalf("delete = %v %v", ok, err)
+	}
+	// Alive in [1, 5), dead at 5 and later.
+	if _, ok, _ := tr.Get(4, 7); !ok {
+		t.Error("key should be alive at version 4")
+	}
+	if _, ok, _ := tr.Get(5, 7); ok {
+		t.Error("key should be dead at version 5")
+	}
+	if tr.Len() != 0 {
+		t.Errorf("len = %d", tr.Len())
+	}
+	// Deleting again is a no-op.
+	ok, err = tr.Delete(6, 7)
+	if err != nil || ok {
+		t.Fatalf("second delete = %v %v", ok, err)
+	}
+	// Reinsert after deletion.
+	if err := tr.Insert(8, 7, Value{71, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := tr.Get(9, 7); !ok || v != (Value{71, 0}) {
+		t.Error("reinserted key wrong")
+	}
+	if v, ok, _ := tr.Get(3, 7); !ok || v != (Value{70, 0}) {
+		t.Error("historical value lost after reinsert")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tr := newTestTree(t, 1024)
+	tr.Insert(1, 3, Value{1, 0})
+	if err := tr.Update(2, 3, Value{2, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := tr.Get(2, 3); v != (Value{2, 0}) {
+		t.Error("update not visible")
+	}
+	if v, _, _ := tr.Get(1, 3); v != (Value{1, 0}) {
+		t.Error("old version overwritten")
+	}
+	if err := tr.Update(3, 99, Value{}); err == nil {
+		t.Error("update of missing key should fail")
+	}
+}
+
+func TestGrowthCausesRootSplits(t *testing.T) {
+	tr := newTestTree(t, 512) // small pages force splits
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(int64(i), int64(i*7%n), Value{int64(i), 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.NumRoots() < 2 {
+		t.Error("expected root version splits")
+	}
+	// All keys visible at the final version.
+	for i := 0; i < n; i++ {
+		k := int64(i * 7 % n)
+		if _, ok, err := tr.Get(int64(n), k); !ok || err != nil {
+			t.Fatalf("key %d missing at current version: %v", k, err)
+		}
+	}
+	// At version n/2, exactly the first half of the inserts are visible.
+	cnt := 0
+	err := tr.ScanAt(int64(n/2), -1<<62, 1<<62, func(k int64, v Value) bool {
+		cnt++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt != n/2+1 { // inserts at versions 0..n/2 inclusive
+		t.Errorf("scan at v=%d found %d keys, want %d", n/2, cnt, n/2+1)
+	}
+}
+
+func TestScanOrdering(t *testing.T) {
+	tr := newTestTree(t, 512)
+	r := rand.New(rand.NewSource(5))
+	keys := r.Perm(800)
+	for i, k := range keys {
+		tr.Insert(int64(i), int64(k), Value{int64(k), 0})
+	}
+	var got []int64
+	tr.ScanAt(int64(len(keys)), 100, 300, func(k int64, v Value) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 201 {
+		t.Fatalf("scan len = %d, want 201", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("scan out of order")
+	}
+	if got[0] != 100 || got[len(got)-1] != 300 {
+		t.Fatalf("scan bounds = %d..%d", got[0], got[len(got)-1])
+	}
+	// Early termination.
+	cnt := 0
+	tr.ScanAt(int64(len(keys)), 0, 799, func(k int64, v Value) bool { cnt++; return cnt < 10 })
+	if cnt != 10 {
+		t.Errorf("early stop visited %d", cnt)
+	}
+}
+
+// snapshot is a full copy of the live map at a version.
+type snapshot struct {
+	v int64
+	m map[int64]Value
+}
+
+// TestTimeTravelModel drives random inserts/deletes at increasing versions
+// and verifies Get and ScanAt against per-version map snapshots. This is
+// the main correctness check for the MVBT's version-split/key-split/merge
+// machinery.
+func TestTimeTravelModel(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	tr := newTestTree(t, 512) // capacity 6: aggressive restructuring
+	cur := map[int64]Value{}
+	var snaps []snapshot
+	v := int64(0)
+	for step := 0; step < 6000; step++ {
+		if r.Intn(3) == 0 {
+			// Advance time and snapshot the previous version's state.
+			m := make(map[int64]Value, len(cur))
+			for k, val := range cur {
+				m[k] = val
+			}
+			snaps = append(snaps, snapshot{v: v, m: m})
+			v += int64(1 + r.Intn(3))
+		}
+		k := int64(r.Intn(300))
+		if _, exists := cur[k]; exists && r.Intn(2) == 0 {
+			ok, err := tr.Delete(v, k)
+			if err != nil {
+				t.Fatalf("step %d: delete: %v", step, err)
+			}
+			if !ok {
+				t.Fatalf("step %d: delete(%d) found nothing, model has it", step, k)
+			}
+			delete(cur, k)
+		} else if !exists {
+			val := Value{r.Int63n(1000), r.Int63n(1000)}
+			if err := tr.Insert(v, k, val); err != nil {
+				t.Fatalf("step %d: insert: %v", step, err)
+			}
+			cur[k] = val
+		}
+	}
+	if tr.Len() != len(cur) {
+		t.Fatalf("len = %d, model = %d", tr.Len(), len(cur))
+	}
+	// Spot-check every snapshot: point queries plus a full ordered scan.
+	for si, s := range snaps {
+		if si%7 == 0 { // full scan on a subset of snapshots to bound runtime
+			found := map[int64]Value{}
+			var order []int64
+			err := tr.ScanAt(s.v, -1<<62, 1<<62, func(k int64, val Value) bool {
+				found[k] = val
+				order = append(order, k)
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(found) != len(s.m) {
+				t.Fatalf("snapshot v=%d: scan %d keys, model %d", s.v, len(found), len(s.m))
+			}
+			for k, want := range s.m {
+				if found[k] != want {
+					t.Fatalf("snapshot v=%d key %d: got %v want %v", s.v, k, found[k], want)
+				}
+			}
+			if !sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] }) {
+				t.Fatalf("snapshot v=%d: scan out of order", s.v)
+			}
+		}
+		// Point queries on random keys.
+		for i := 0; i < 30; i++ {
+			k := int64(r.Intn(300))
+			got, ok, err := tr.Get(s.v, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantOK := s.m[k]
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("snapshot v=%d key %d: got %v/%v want %v/%v", s.v, k, got, ok, want, wantOK)
+			}
+		}
+	}
+}
+
+// TestMassDeleteUnderflow drives the merge path hard: fill, then delete
+// almost everything, then verify history is intact.
+func TestMassDeleteUnderflow(t *testing.T) {
+	tr := newTestTree(t, 512)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		tr.Insert(int64(i), int64(i), Value{int64(i), 0})
+	}
+	for i := 0; i < n; i++ {
+		if i%17 == 0 {
+			continue // keep a few
+		}
+		ok, err := tr.Delete(int64(n+i), int64(i))
+		if err != nil || !ok {
+			t.Fatalf("delete %d: %v %v", i, ok, err)
+		}
+	}
+	// Current state: only multiples of 17 remain.
+	cnt := 0
+	tr.ScanAt(int64(2*n), 0, n, func(k int64, v Value) bool {
+		if k%17 != 0 {
+			t.Fatalf("unexpected survivor %d", k)
+		}
+		cnt++
+		return true
+	})
+	want := 0
+	for i := 0; i < n; i += 17 {
+		want++
+	}
+	if cnt != want {
+		t.Fatalf("survivors = %d, want %d", cnt, want)
+	}
+	// Full history at version n-1 (before any deletes): all present.
+	cnt = 0
+	tr.ScanAt(int64(n-1), 0, n, func(k int64, v Value) bool { cnt++; return true })
+	if cnt != n {
+		t.Fatalf("history scan = %d, want %d", cnt, n)
+	}
+}
+
+// TestAppendOnlyWorkload mirrors how the TAR-tree uses the MVBT as a TIA:
+// monotonically increasing keys, never deleted, queried with key ranges at
+// the current version.
+func TestAppendOnlyWorkload(t *testing.T) {
+	tr := newTestTree(t, 1024)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		ts := int64(i * 100)
+		if err := tr.Insert(ts, ts, Value{ts + 100, int64(i % 7)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := int64(0)
+	cnt := 0
+	tr.ScanAt(tr.Now(), 1000, 250000, func(k int64, v Value) bool {
+		sum += v[1]
+		cnt++
+		return true
+	})
+	wantCnt := 0
+	wantSum := int64(0)
+	for i := 0; i < n; i++ {
+		ts := int64(i * 100)
+		if ts >= 1000 && ts <= 250000 {
+			wantCnt++
+			wantSum += int64(i % 7)
+		}
+	}
+	if cnt != wantCnt || sum != wantSum {
+		t.Fatalf("range agg = %d/%d, want %d/%d", cnt, sum, wantCnt, wantSum)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	buf := pagestore.NewBuffer(pagestore.NewMemFile(1024), 256)
+	tr, _ := New(buf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(int64(i), int64(i), Value{int64(i), 1})
+	}
+}
+
+func BenchmarkGetCurrent(b *testing.B) {
+	buf := pagestore.NewBuffer(pagestore.NewMemFile(1024), 256)
+	tr, _ := New(buf)
+	for i := 0; i < 50000; i++ {
+		tr.Insert(int64(i), int64(i), Value{int64(i), 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(50000, int64(i%50000))
+	}
+}
+
+func TestQueryBeforeFirstVersion(t *testing.T) {
+	tr := newTestTree(t, 1024)
+	tr.Insert(100, 1, Value{1, 0})
+	if _, ok, err := tr.Get(-1000, 1); ok || err != nil {
+		t.Fatalf("get before first version = %v %v", ok, err)
+	}
+	n := 0
+	tr.ScanAt(-1000, -1<<62, 1<<62, func(k int64, v Value) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("scan before first version found %d", n)
+	}
+}
+
+func TestSameVersionBatch(t *testing.T) {
+	// Many operations at one version, including delete+reinsert cycles.
+	tr := newTestTree(t, 512)
+	const v = 7
+	for k := int64(0); k < 300; k++ {
+		if err := tr.Insert(v, k, Value{k, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := int64(0); k < 300; k += 2 {
+		if ok, err := tr.Delete(v, k); !ok || err != nil {
+			t.Fatalf("delete %d: %v %v", k, ok, err)
+		}
+	}
+	for k := int64(0); k < 300; k += 4 {
+		if err := tr.Insert(v, k, Value{k, 9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// At version v: odd keys original, multiples of 4 reinserted, the
+	// rest of the evens dead.
+	for k := int64(0); k < 300; k++ {
+		val, ok, err := tr.Get(v, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case k%4 == 0:
+			if !ok || val[1] != 9 {
+				t.Fatalf("key %d = %v %v, want reinserted", k, val, ok)
+			}
+		case k%2 == 0:
+			if ok {
+				t.Fatalf("key %d should be dead", k)
+			}
+		default:
+			if !ok || val[1] != 0 {
+				t.Fatalf("key %d = %v %v, want original", k, val, ok)
+			}
+		}
+	}
+	// Nothing visible before v.
+	cnt := 0
+	tr.ScanAt(v-1, 0, 300, func(k int64, val Value) bool { cnt++; return true })
+	if cnt != 0 {
+		t.Fatalf("%d keys visible before v", cnt)
+	}
+}

@@ -1,0 +1,550 @@
+// Package pagestore implements the paged storage layer beneath the
+// disk-resident temporal indexes (TIAs) of the TAR-tree.
+//
+// The experimental setup in the paper keeps the R-tree in memory while
+// every TIA is disk based and "assigned a maximum of 10 buffer slots".
+// This package provides exactly that machinery: a page file abstraction
+// (with an in-memory simulated disk and an OS-file implementation), and a
+// small per-index LRU buffer pool that counts logical and physical page
+// accesses so experiments can report node accesses precisely.
+package pagestore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// PageID identifies a page within a File. Zero is never a valid page, so it
+// can serve as a nil pointer inside page payloads.
+type PageID uint32
+
+// InvalidPage is the zero PageID; it never refers to a real page.
+const InvalidPage PageID = 0
+
+// ErrPageBounds is returned when a PageID does not refer to an allocated
+// page.
+var ErrPageBounds = errors.New("pagestore: page id out of bounds")
+
+// File is a fixed-page-size random access storage device.
+//
+// Implementations must be safe for use by a single goroutine; callers that
+// share a File across goroutines must synchronize externally (the Buffer
+// type does so).
+type File interface {
+	// PageSize returns the size in bytes of every page.
+	PageSize() int
+	// Alloc reserves a new page (reusing freed pages when possible) and
+	// returns its id. The page contents are zeroed.
+	Alloc() (PageID, error)
+	// ReadPage copies the content of page id into buf, which must be at
+	// least PageSize bytes long.
+	ReadPage(id PageID, buf []byte) error
+	// WritePage stores data (at least PageSize bytes) as the content of
+	// page id.
+	WritePage(id PageID, data []byte) error
+	// Free releases page id for reuse.
+	Free(id PageID) error
+	// NumPages returns the number of currently allocated pages.
+	NumPages() int
+	// Close releases underlying resources.
+	Close() error
+}
+
+// MemFile is an in-memory File: a simulated disk. It is the default backend
+// for experiments because page accesses can be counted without paying for
+// real I/O, mirroring how the paper reports node accesses as the
+// machine-independent cost metric.
+type MemFile struct {
+	pageSize int
+	pages    [][]byte // index = PageID-1; nil entry means freed
+	free     []PageID
+	n        int
+}
+
+// NewMemFile creates an in-memory page file with the given page size.
+func NewMemFile(pageSize int) *MemFile {
+	if pageSize <= 0 {
+		panic("pagestore: page size must be positive")
+	}
+	return &MemFile{pageSize: pageSize}
+}
+
+// PageSize implements File.
+func (f *MemFile) PageSize() int { return f.pageSize }
+
+// Alloc implements File.
+func (f *MemFile) Alloc() (PageID, error) {
+	if n := len(f.free); n > 0 {
+		id := f.free[n-1]
+		f.free = f.free[:n-1]
+		f.pages[id-1] = make([]byte, f.pageSize)
+		f.n++
+		return id, nil
+	}
+	f.pages = append(f.pages, make([]byte, f.pageSize))
+	f.n++
+	return PageID(len(f.pages)), nil
+}
+
+func (f *MemFile) page(id PageID) ([]byte, error) {
+	if id == InvalidPage || int(id) > len(f.pages) || f.pages[id-1] == nil {
+		return nil, fmt.Errorf("%w: %d", ErrPageBounds, id)
+	}
+	return f.pages[id-1], nil
+}
+
+// ReadPage implements File.
+func (f *MemFile) ReadPage(id PageID, buf []byte) error {
+	p, err := f.page(id)
+	if err != nil {
+		return err
+	}
+	copy(buf[:f.pageSize], p)
+	return nil
+}
+
+// WritePage implements File.
+func (f *MemFile) WritePage(id PageID, data []byte) error {
+	p, err := f.page(id)
+	if err != nil {
+		return err
+	}
+	copy(p, data[:f.pageSize])
+	return nil
+}
+
+// Free implements File.
+func (f *MemFile) Free(id PageID) error {
+	if _, err := f.page(id); err != nil {
+		return err
+	}
+	f.pages[id-1] = nil
+	f.free = append(f.free, id)
+	f.n--
+	return nil
+}
+
+// NumPages implements File.
+func (f *MemFile) NumPages() int { return f.n }
+
+// Close implements File.
+func (f *MemFile) Close() error {
+	f.pages = nil
+	f.free = nil
+	f.n = 0
+	return nil
+}
+
+// OSFile is a File backed by a file on disk. Its free list lives in memory:
+// the store is rebuilt from scratch each run, which matches how the
+// experiments construct indexes.
+type OSFile struct {
+	f        *os.File
+	pageSize int
+	pages    int // allocated high-water mark
+	freed    map[PageID]bool
+	free     []PageID
+}
+
+// NewOSFile creates (truncating) a page file at path.
+func NewOSFile(path string, pageSize int) (*OSFile, error) {
+	if pageSize <= 0 {
+		return nil, errors.New("pagestore: page size must be positive")
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &OSFile{f: f, pageSize: pageSize, freed: make(map[PageID]bool)}, nil
+}
+
+// PageSize implements File.
+func (f *OSFile) PageSize() int { return f.pageSize }
+
+// Alloc implements File.
+func (f *OSFile) Alloc() (PageID, error) {
+	if n := len(f.free); n > 0 {
+		id := f.free[n-1]
+		f.free = f.free[:n-1]
+		delete(f.freed, id)
+		if err := f.WritePage(id, make([]byte, f.pageSize)); err != nil {
+			return InvalidPage, err
+		}
+		return id, nil
+	}
+	f.pages++
+	id := PageID(f.pages)
+	if err := f.WritePage(id, make([]byte, f.pageSize)); err != nil {
+		return InvalidPage, err
+	}
+	return id, nil
+}
+
+func (f *OSFile) check(id PageID) error {
+	if id == InvalidPage || int(id) > f.pages || f.freed[id] {
+		return fmt.Errorf("%w: %d", ErrPageBounds, id)
+	}
+	return nil
+}
+
+// ReadPage implements File.
+func (f *OSFile) ReadPage(id PageID, buf []byte) error {
+	if err := f.check(id); err != nil {
+		return err
+	}
+	_, err := f.f.ReadAt(buf[:f.pageSize], int64(id-1)*int64(f.pageSize))
+	return err
+}
+
+// WritePage implements File.
+func (f *OSFile) WritePage(id PageID, data []byte) error {
+	if id == InvalidPage || int(id) > f.pages {
+		return fmt.Errorf("%w: %d", ErrPageBounds, id)
+	}
+	_, err := f.f.WriteAt(data[:f.pageSize], int64(id-1)*int64(f.pageSize))
+	return err
+}
+
+// Free implements File.
+func (f *OSFile) Free(id PageID) error {
+	if err := f.check(id); err != nil {
+		return err
+	}
+	f.freed[id] = true
+	f.free = append(f.free, id)
+	return nil
+}
+
+// NumPages implements File.
+func (f *OSFile) NumPages() int { return f.pages - len(f.free) }
+
+// Close implements File.
+func (f *OSFile) Close() error { return f.f.Close() }
+
+// Stats counts page traffic through a Buffer. Logical counts include buffer
+// hits; physical counts are actual File operations, i.e. the disk accesses
+// the paper's experiments report.
+type Stats struct {
+	LogicalReads   int64
+	PhysicalReads  int64
+	LogicalWrites  int64
+	PhysicalWrites int64
+}
+
+// Accesses returns the number of physical page reads and writes combined.
+func (s Stats) Accesses() int64 { return s.PhysicalReads + s.PhysicalWrites }
+
+// Add returns the component-wise sum of s and t.
+func (s Stats) Add(t Stats) Stats {
+	return Stats{
+		LogicalReads:   s.LogicalReads + t.LogicalReads,
+		PhysicalReads:  s.PhysicalReads + t.PhysicalReads,
+		LogicalWrites:  s.LogicalWrites + t.LogicalWrites,
+		PhysicalWrites: s.PhysicalWrites + t.PhysicalWrites,
+	}
+}
+
+// Sub returns s − t component-wise.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		LogicalReads:   s.LogicalReads - t.LogicalReads,
+		PhysicalReads:  s.PhysicalReads - t.PhysicalReads,
+		LogicalWrites:  s.LogicalWrites - t.LogicalWrites,
+		PhysicalWrites: s.PhysicalWrites - t.PhysicalWrites,
+	}
+}
+
+// CounterSink aggregates the traffic of many Buffers into one set of
+// atomic counters, so reading combined statistics is O(1) regardless of
+// how many buffers exist — the TAR-tree creates one buffer per TIA, which
+// can be tens of thousands.
+type CounterSink struct {
+	logicalReads   atomic.Int64
+	physicalReads  atomic.Int64
+	logicalWrites  atomic.Int64
+	physicalWrites atomic.Int64
+}
+
+// Snapshot returns the current totals.
+func (s *CounterSink) Snapshot() Stats {
+	return Stats{
+		LogicalReads:   s.logicalReads.Load(),
+		PhysicalReads:  s.physicalReads.Load(),
+		LogicalWrites:  s.logicalWrites.Load(),
+		PhysicalWrites: s.physicalWrites.Load(),
+	}
+}
+
+type frame struct {
+	id         PageID
+	data       []byte
+	dirty      bool
+	prev, next *frame // LRU list; most recent at head
+}
+
+// Buffer is a write-back LRU buffer pool over a File. Each TIA owns a
+// Buffer with a small number of slots (10 in the paper's setup; zero slots
+// makes the buffer a pass-through so every access is physical, as in the
+// collective-processing experiments).
+//
+// A Buffer is safe for concurrent use.
+type Buffer struct {
+	mu     sync.Mutex
+	file   File
+	slots  int
+	frames map[PageID]*frame
+	head   *frame
+	tail   *frame
+	stats  Stats
+	sink   *CounterSink
+	// scratch holds the pass-through page when slots == 0.
+	scratch []byte
+}
+
+// NewBuffer creates a buffer pool with the given number of slots over f.
+func NewBuffer(f File, slots int) *Buffer {
+	return NewBufferWithSink(f, slots, nil)
+}
+
+// NewBufferWithSink creates a buffer pool that additionally reports its
+// traffic to sink (which may be shared by many buffers).
+func NewBufferWithSink(f File, slots int, sink *CounterSink) *Buffer {
+	if slots < 0 {
+		panic("pagestore: negative slot count")
+	}
+	return &Buffer{
+		file:    f,
+		slots:   slots,
+		frames:  make(map[PageID]*frame, slots),
+		sink:    sink,
+		scratch: make([]byte, f.PageSize()),
+	}
+}
+
+// File returns the underlying page file.
+func (b *Buffer) File() File { return b.file }
+
+// PageSize returns the page size of the underlying file.
+func (b *Buffer) PageSize() int { return b.file.PageSize() }
+
+// count helpers keep the buffer's own stats and the shared sink in step.
+func (b *Buffer) countLogicalRead() {
+	b.stats.LogicalReads++
+	if b.sink != nil {
+		b.sink.logicalReads.Add(1)
+	}
+}
+
+func (b *Buffer) countPhysicalRead() {
+	b.stats.PhysicalReads++
+	if b.sink != nil {
+		b.sink.physicalReads.Add(1)
+	}
+}
+
+func (b *Buffer) countLogicalWrite() {
+	b.stats.LogicalWrites++
+	if b.sink != nil {
+		b.sink.logicalWrites.Add(1)
+	}
+}
+
+func (b *Buffer) countPhysicalWrite() {
+	b.stats.PhysicalWrites++
+	if b.sink != nil {
+		b.sink.physicalWrites.Add(1)
+	}
+}
+
+func (b *Buffer) unlink(fr *frame) {
+	if fr.prev != nil {
+		fr.prev.next = fr.next
+	} else {
+		b.head = fr.next
+	}
+	if fr.next != nil {
+		fr.next.prev = fr.prev
+	} else {
+		b.tail = fr.prev
+	}
+	fr.prev, fr.next = nil, nil
+}
+
+func (b *Buffer) pushFront(fr *frame) {
+	fr.next = b.head
+	if b.head != nil {
+		b.head.prev = fr
+	}
+	b.head = fr
+	if b.tail == nil {
+		b.tail = fr
+	}
+}
+
+func (b *Buffer) touch(fr *frame) {
+	if b.head == fr {
+		return
+	}
+	b.unlink(fr)
+	b.pushFront(fr)
+}
+
+// evict flushes and removes the least recently used frame.
+func (b *Buffer) evict() error {
+	fr := b.tail
+	if fr == nil {
+		return nil
+	}
+	if fr.dirty {
+		if err := b.file.WritePage(fr.id, fr.data); err != nil {
+			return err
+		}
+		b.countPhysicalWrite()
+	}
+	b.unlink(fr)
+	delete(b.frames, fr.id)
+	return nil
+}
+
+func (b *Buffer) load(id PageID, readThrough bool) (*frame, error) {
+	if fr, ok := b.frames[id]; ok {
+		b.touch(fr)
+		return fr, nil
+	}
+	for len(b.frames) >= b.slots && len(b.frames) > 0 {
+		if err := b.evict(); err != nil {
+			return nil, err
+		}
+	}
+	fr := &frame{id: id, data: make([]byte, b.file.PageSize())}
+	if readThrough {
+		if err := b.file.ReadPage(id, fr.data); err != nil {
+			return nil, err
+		}
+		b.countPhysicalRead()
+	}
+	if b.slots > 0 {
+		b.frames[id] = fr
+		b.pushFront(fr)
+	}
+	return fr, nil
+}
+
+// Get returns the content of page id. The returned slice is only valid
+// until the next Buffer call; callers must copy anything they retain.
+func (b *Buffer) Get(id PageID) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.countLogicalRead()
+	if b.slots == 0 {
+		if err := b.file.ReadPage(id, b.scratch); err != nil {
+			return nil, err
+		}
+		b.countPhysicalRead()
+		return b.scratch, nil
+	}
+	fr, err := b.load(id, true)
+	if err != nil {
+		return nil, err
+	}
+	return fr.data, nil
+}
+
+// Put stores data as the content of page id. With buffering, the write is
+// deferred until eviction or Flush (write-back); without slots it goes
+// straight to the file.
+func (b *Buffer) Put(id PageID, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.countLogicalWrite()
+	if b.slots == 0 {
+		if err := b.file.WritePage(id, data); err != nil {
+			return err
+		}
+		b.countPhysicalWrite()
+		return nil
+	}
+	fr, err := b.load(id, false)
+	if err != nil {
+		return err
+	}
+	copy(fr.data, data[:b.file.PageSize()])
+	fr.dirty = true
+	return nil
+}
+
+// Alloc reserves a new page in the underlying file.
+func (b *Buffer) Alloc() (PageID, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.file.Alloc()
+}
+
+// Free releases page id, dropping any buffered copy.
+func (b *Buffer) Free(id PageID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if fr, ok := b.frames[id]; ok {
+		b.unlink(fr)
+		delete(b.frames, id)
+	}
+	return b.file.Free(id)
+}
+
+// Flush writes all dirty frames back to the file.
+func (b *Buffer) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for fr := b.head; fr != nil; fr = fr.next {
+		if fr.dirty {
+			if err := b.file.WritePage(fr.id, fr.data); err != nil {
+				return err
+			}
+			b.countPhysicalWrite()
+			fr.dirty = false
+		}
+	}
+	return nil
+}
+
+// Drop discards all buffered frames without writing them back. It is meant
+// for tests and for abandoning scratch indexes.
+func (b *Buffer) Drop() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.frames = make(map[PageID]*frame, b.slots)
+	b.head, b.tail = nil, nil
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (b *Buffer) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// ResetStats zeroes the traffic counters; buffered pages stay cached.
+func (b *Buffer) ResetStats() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats = Stats{}
+}
+
+// Resize changes the number of buffer slots, evicting frames as needed.
+func (b *Buffer) Resize(slots int) error {
+	if slots < 0 {
+		panic("pagestore: negative slot count")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.slots = slots
+	for len(b.frames) > slots {
+		if err := b.evict(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+// Package planner turns the Section-6 cost analysis into a query
+// optimizer, the use the paper suggests ("the analysis can also be used as
+// a cost model for query optimization purposes"): for each kNNTA query it
+// estimates the best-first search's node accesses from the aggregate
+// distribution of the query's interval class and chooses between the
+// TAR-tree and the sequential scan — the scan wins when k approaches the
+// data set size or the search region degenerates to most of the space.
+package planner
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"tartree/internal/core"
+	"tartree/internal/costmodel"
+	"tartree/internal/powerlaw"
+	"tartree/internal/seqscan"
+	"tartree/internal/tia"
+)
+
+// Engine names the execution strategy a Plan selects.
+type Engine int
+
+const (
+	// UseIndex answers with best-first search over the TAR-tree.
+	UseIndex Engine = iota
+	// UseScan answers with the sequential scan.
+	UseScan
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	if e == UseScan {
+		return "sequential-scan"
+	}
+	return "tar-tree"
+}
+
+// Plan is the optimizer's decision with its supporting estimates.
+type Plan struct {
+	Engine Engine
+	// EstimatedFk is the predicted ranking score of the kth result.
+	EstimatedFk float64
+	// IndexCost and ScanCost are the predicted costs in microseconds when
+	// calibrated, otherwise in abstract page-access units.
+	IndexCost, ScanCost float64
+}
+
+// classStats caches the fitted cost-model layers for one interval length.
+type classStats struct {
+	layers  []costmodel.Layer
+	maxAgg  int64
+	builtAt int // tree size when fitted; refitted after significant growth
+}
+
+// Planner plans and executes kNNTA queries over one tree.
+type Planner struct {
+	tree   *core.Tree
+	scan   *seqscan.Scanner
+	fanout float64
+	// classes caches per-interval-length statistics.
+	classes map[int64]*classStats
+	// Calibration coefficients; zero until Calibrate runs.
+	usPerAccess float64 // microseconds per estimated index node access
+	usPerPOI    float64 // microseconds per scanned POI
+}
+
+// New builds a planner for tr, constructing the sequential-scan fallback
+// from the tree's own registry.
+func New(tr *core.Tree) (*Planner, error) {
+	opts := tr.Options()
+	scan := seqscan.New(opts.World, opts.Semantics)
+	var ferr error
+	tr.POIs(func(p core.POI, total int64) bool {
+		hist, err := tr.History(p.ID)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		scan.Add(p, hist)
+		return true
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	return &Planner{
+		tree:    tr,
+		scan:    scan,
+		fanout:  0.69 * float64(core.CapacityFor(opts.NodeSize, tr.Dims())),
+		classes: make(map[int64]*classStats),
+	}, nil
+}
+
+// statsFor returns (building if needed) the layer statistics of the
+// query's interval-length class.
+func (p *Planner) statsFor(iv tia.Interval) (*classStats, error) {
+	length := iv.End - iv.Start
+	cs := p.classes[length]
+	if cs != nil && p.tree.Len() < cs.builtAt*5/4 {
+		return cs, nil
+	}
+	var aggs []int64
+	var ferr error
+	p.tree.POIs(func(poi core.POI, total int64) bool {
+		a, err := p.tree.AggregateMirror(poi.ID, iv)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		aggs = append(aggs, a)
+		return true
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	if len(aggs) == 0 {
+		return nil, errors.New("planner: empty tree")
+	}
+	cs = &classStats{builtAt: p.tree.Len()}
+	cs.layers, cs.maxAgg = buildLayers(aggs)
+	p.classes[length] = cs
+	return cs, nil
+}
+
+// buildLayers mirrors the evaluation harness: empirical body below the
+// fitted cutoff, power-law tail above it.
+func buildLayers(aggs []int64) ([]costmodel.Layer, int64) {
+	var maxAgg int64 = 1
+	var nonzero []int64
+	for _, a := range aggs {
+		if a > maxAgg {
+			maxAgg = a
+		}
+		if a > 0 {
+			nonzero = append(nonzero, a)
+		}
+	}
+	empirical := costmodel.EmpiricalLayers(aggs)
+	fit, err := powerlaw.Estimate(nonzero, powerlaw.FitOptions{})
+	if err != nil {
+		return empirical, maxAgg
+	}
+	var layers []costmodel.Layer
+	for _, l := range empirical {
+		if l.X < fit.Xmin {
+			layers = append(layers, l)
+		}
+	}
+	tail, err := costmodel.PowerLawLayers(float64(fit.NTail), fit.Beta, fit.Xmin, maxAgg, 0)
+	if err != nil {
+		return empirical, maxAgg
+	}
+	return append(layers, tail...), maxAgg
+}
+
+// Plan estimates both engines' costs for q and picks the cheaper.
+func (p *Planner) Plan(q core.Query) (Plan, error) {
+	if err := q.Validate(); err != nil {
+		return Plan{}, err
+	}
+	n := p.tree.Len()
+	if n == 0 {
+		return Plan{Engine: UseScan}, nil
+	}
+	cs, err := p.statsFor(q.Iq)
+	if err != nil {
+		return Plan{}, err
+	}
+	cm := costmodel.Params{
+		Alpha0: q.Alpha0,
+		K:      min(q.K, n),
+		Fanout: p.fanout,
+		MaxAgg: cs.maxAgg,
+		Layers: cs.layers,
+	}
+	fk, leafNA, err := cm.Estimate()
+	if err != nil {
+		return Plan{}, err
+	}
+	// Index cost: estimated leaf accesses plus the proportional internal
+	// accesses and the normalization read. Scan cost: one pass over N POIs.
+	accesses := leafNA*(1+1/p.fanout) + 2
+	pois := float64(n)
+	plan := Plan{EstimatedFk: fk}
+	if p.usPerAccess > 0 && p.usPerPOI > 0 {
+		plan.IndexCost = accesses * p.usPerAccess
+		plan.ScanCost = pois * p.usPerPOI
+	} else {
+		// Uncalibrated: compare in page units; a scanned page holds about
+		// one node's worth of POIs.
+		plan.IndexCost = accesses
+		plan.ScanCost = pois / p.fanout
+	}
+	if plan.IndexCost <= plan.ScanCost {
+		plan.Engine = UseIndex
+	} else {
+		plan.Engine = UseScan
+	}
+	return plan, nil
+}
+
+// Calibrate measures both engines on the given sample queries and derives
+// microsecond cost coefficients, turning Plan's comparison from page units
+// into predicted wall time.
+func (p *Planner) Calibrate(queries []core.Query) error {
+	if len(queries) == 0 {
+		return errors.New("planner: no calibration queries")
+	}
+	var idxMicros, estAccesses, scanMicros, scannedPOIs float64
+	for _, q := range queries {
+		cs, err := p.statsFor(q.Iq)
+		if err != nil {
+			return err
+		}
+		cm := costmodel.Params{
+			Alpha0: q.Alpha0, K: min(q.K, p.tree.Len()),
+			Fanout: p.fanout, MaxAgg: cs.maxAgg, Layers: cs.layers,
+		}
+		_, leafNA, err := cm.Estimate()
+		if err != nil {
+			return err
+		}
+		estAccesses += leafNA*(1+1/p.fanout) + 2
+
+		start := time.Now()
+		if _, _, err := p.tree.Query(q); err != nil {
+			return err
+		}
+		idxMicros += float64(time.Since(start).Microseconds())
+
+		start = time.Now()
+		if _, err := p.scan.Query(q); err != nil {
+			return err
+		}
+		scanMicros += float64(time.Since(start).Microseconds())
+		scannedPOIs += float64(p.scan.Len())
+	}
+	if estAccesses <= 0 || scannedPOIs <= 0 {
+		return errors.New("planner: degenerate calibration")
+	}
+	p.usPerAccess = math.Max(idxMicros/estAccesses, 1e-6)
+	p.usPerPOI = math.Max(scanMicros/scannedPOIs, 1e-6)
+	return nil
+}
+
+// Query plans and executes q, returning the results, the plan taken and
+// the index's work counters (zero when the scan ran).
+func (p *Planner) Query(q core.Query) ([]core.Result, Plan, core.QueryStats, error) {
+	plan, err := p.Plan(q)
+	if err != nil {
+		return nil, plan, core.QueryStats{}, err
+	}
+	if plan.Engine == UseScan {
+		res, err := p.scan.Query(q)
+		return res, plan, core.QueryStats{}, err
+	}
+	res, stats, err := p.tree.Query(q)
+	return res, plan, stats, err
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,302 @@
+// Package powerlaw implements discrete power-law distributions: the
+// Hurwitz zeta function, maximum-likelihood fitting with KS-minimizing
+// lower cutoff and a bootstrap goodness-of-fit p-value (the method of
+// Clauset, Shalizi and Newman that the paper applies in Section 6.1 /
+// Table 2), and sampling.
+//
+// The paper's cost model rests on the observation that the number of POIs
+// with a given aggregate value follows p(x) = x^−β / ζ(β, xmin); this
+// package provides both directions — estimating (β, xmin) from data and
+// generating data with a prescribed (β, xmin).
+package powerlaw
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// HurwitzZeta computes ζ(s, q) = Σ_{i=0..∞} (q+i)^−s for s > 1, q > 0,
+// using direct summation plus an Euler–Maclaurin tail.
+func HurwitzZeta(s, q float64) float64 {
+	if s <= 1 || q <= 0 {
+		return math.NaN()
+	}
+	const direct = 64
+	sum := 0.0
+	for i := 0; i < direct; i++ {
+		sum += math.Pow(q+float64(i), -s)
+	}
+	// Euler–Maclaurin tail starting at a = q + direct:
+	// ∫_a^∞ x^−s dx + a^−s/2 + s·a^−(s+1)/12 − s(s+1)(s+2)·a^−(s+3)/720.
+	a := q + direct
+	sum += math.Pow(a, 1-s)/(s-1) + math.Pow(a, -s)/2 +
+		s*math.Pow(a, -s-1)/12 - s*(s+1)*(s+2)*math.Pow(a, -s-3)/720
+	return sum
+}
+
+// Dist is a discrete power law with pmf p(x) = x^−β / ζ(β, xmin) for
+// integers x ≥ xmin.
+type Dist struct {
+	Beta float64
+	Xmin int64
+	z    float64 // ζ(β, xmin)
+}
+
+// NewDist constructs the distribution, precomputing its normalizer.
+func NewDist(beta float64, xmin int64) (*Dist, error) {
+	if beta <= 1 {
+		return nil, errors.New("powerlaw: β must exceed 1")
+	}
+	if xmin < 1 {
+		return nil, errors.New("powerlaw: xmin must be at least 1")
+	}
+	return &Dist{Beta: beta, Xmin: xmin, z: HurwitzZeta(beta, float64(xmin))}, nil
+}
+
+// PMF returns P(X = x).
+func (d *Dist) PMF(x int64) float64 {
+	if x < d.Xmin {
+		return 0
+	}
+	return math.Pow(float64(x), -d.Beta) / d.z
+}
+
+// SF returns the survival function P(X >= x) = ζ(β, x)/ζ(β, xmin).
+func (d *Dist) SF(x int64) float64 {
+	if x <= d.Xmin {
+		return 1
+	}
+	return HurwitzZeta(d.Beta, float64(x)) / d.z
+}
+
+// CDF returns P(X <= x) = 1 − P(X >= x+1).
+func (d *Dist) CDF(x int64) float64 {
+	if x < d.Xmin {
+		return 0
+	}
+	return 1 - d.SF(x+1)
+}
+
+// Mean returns E[X] = ζ(β−1, xmin)/ζ(β, xmin) (infinite when β <= 2).
+func (d *Dist) Mean() float64 {
+	if d.Beta <= 2 {
+		return math.Inf(1)
+	}
+	return HurwitzZeta(d.Beta-1, float64(d.Xmin)) / d.z
+}
+
+// Sampler draws from the distribution. It wraps rand.Zipf, whose law
+// P(k) ∝ (v+k)^−s with v = xmin yields exactly x = xmin + k ∝ x^−β.
+type Sampler struct {
+	z *rand.Zipf
+	d *Dist
+}
+
+// NewSampler creates a sampler using r as the randomness source.
+func (d *Dist) NewSampler(r *rand.Rand) *Sampler {
+	return &Sampler{z: rand.NewZipf(r, d.Beta, float64(d.Xmin), math.MaxInt32), d: d}
+}
+
+// Sample draws one value.
+func (s *Sampler) Sample() int64 { return int64(s.d.Xmin) + int64(s.z.Uint64()) }
+
+// Fit is the result of fitting a discrete power law to data.
+type Fit struct {
+	Beta  float64 // β̂: estimated scaling parameter
+	Xmin  int64   // x̂min: estimated lower bound of power-law behavior
+	KS    float64 // Kolmogorov–Smirnov distance of the tail fit
+	NTail int     // number of observations ≥ x̂min
+	N     int     // total observations
+}
+
+// Dist returns the fitted distribution.
+func (f Fit) Dist() *Dist {
+	d, _ := NewDist(f.Beta, f.Xmin)
+	return d
+}
+
+// mleBeta maximizes the discrete power-law log-likelihood
+// L(β) = −n·ln ζ(β, xmin) − β·Σ ln x over β ∈ (1, 20] by golden-section
+// search (L is unimodal in β).
+func mleBeta(sumLogX float64, n int, xmin int64) float64 {
+	ll := func(beta float64) float64 {
+		return -float64(n)*math.Log(HurwitzZeta(beta, float64(xmin))) - beta*sumLogX
+	}
+	lo, hi := 1.0001, 20.0
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, fd := ll(c), ll(d)
+	for i := 0; i < 100 && b-a > 1e-7; i++ {
+		if fc > fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = ll(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = ll(d)
+		}
+	}
+	return (a + b) / 2
+}
+
+// ksDistance computes the KS statistic between the empirical distribution
+// of tail (sorted ascending, all >= xmin) and the fitted power law.
+func ksDistance(tail []int64, d *Dist) float64 {
+	n := float64(len(tail))
+	maxD := 0.0
+	i := 0
+	for i < len(tail) {
+		x := tail[i]
+		j := i
+		for j < len(tail) && tail[j] == x {
+			j++
+		}
+		empLo := float64(i) / n // empirical CDF just below x
+		empHi := float64(j) / n // empirical CDF at x
+		// Discrete two-sided KS: compare the CDFs both just below and at
+		// the atom x.
+		if dd := math.Abs(d.CDF(x-1) - empLo); dd > maxD {
+			maxD = dd
+		}
+		if dd := math.Abs(d.CDF(x) - empHi); dd > maxD {
+			maxD = dd
+		}
+		i = j
+	}
+	return maxD
+}
+
+// FitTail fits β with a fixed xmin.
+func FitTail(data []int64, xmin int64) (Fit, error) {
+	var tail []int64
+	sumLog := 0.0
+	for _, x := range data {
+		if x >= xmin {
+			tail = append(tail, x)
+			sumLog += math.Log(float64(x))
+		}
+	}
+	if len(tail) < 2 {
+		return Fit{}, errors.New("powerlaw: too few tail observations")
+	}
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	beta := mleBeta(sumLog, len(tail), xmin)
+	d, err := NewDist(beta, xmin)
+	if err != nil {
+		return Fit{}, err
+	}
+	return Fit{
+		Beta:  beta,
+		Xmin:  xmin,
+		KS:    ksDistance(tail, d),
+		NTail: len(tail),
+		N:     len(data),
+	}, nil
+}
+
+// FitOptions tunes Estimate.
+type FitOptions struct {
+	// MaxXmin caps the candidate lower cutoffs (0: up to the 90th
+	// percentile of distinct values, a practical CSN convention).
+	MaxXmin int64
+	// MinTail is the minimum number of tail observations a candidate xmin
+	// must retain (default 25).
+	MinTail int
+}
+
+// Estimate fits (β, xmin) by trying every candidate xmin and keeping the
+// one whose tail fit minimizes the KS distance — the Clauset–Shalizi–
+// Newman estimator.
+func Estimate(data []int64, opts FitOptions) (Fit, error) {
+	if len(data) < 10 {
+		return Fit{}, errors.New("powerlaw: too few observations")
+	}
+	if opts.MinTail == 0 {
+		opts.MinTail = 25
+	}
+	distinct := distinctSorted(data)
+	if opts.MaxXmin == 0 {
+		opts.MaxXmin = distinct[int(float64(len(distinct))*0.9)]
+	}
+	var best Fit
+	found := false
+	for _, xmin := range distinct {
+		if xmin < 1 || xmin > opts.MaxXmin {
+			continue
+		}
+		f, err := FitTail(data, xmin)
+		if err != nil || f.NTail < opts.MinTail {
+			continue
+		}
+		if !found || f.KS < best.KS {
+			best, found = f, true
+		}
+	}
+	if !found {
+		return Fit{}, errors.New("powerlaw: no feasible xmin")
+	}
+	return best, nil
+}
+
+func distinctSorted(data []int64) []int64 {
+	s := append([]int64(nil), data...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:0]
+	var last int64 = math.MinInt64
+	for _, x := range s {
+		if x != last {
+			out = append(out, x)
+			last = x
+		}
+	}
+	return out
+}
+
+// PValue runs the semi-parametric bootstrap of CSN: synthetic data sets are
+// drawn (body resampled from the observed sub-xmin values, tail from the
+// fitted power law), refit, and the p-value is the share whose KS distance
+// exceeds the observed one. A p-value above 0.1 means the power-law
+// hypothesis cannot be ruled out — the criterion the paper quotes.
+func PValue(data []int64, fit Fit, trials int, r *rand.Rand) (float64, error) {
+	return PValueOpts(data, fit, trials, r, FitOptions{})
+}
+
+// PValueOpts is PValue with explicit fit options for the bootstrap refits
+// (they should match the options used for the original fit).
+func PValueOpts(data []int64, fit Fit, trials int, r *rand.Rand, opts FitOptions) (float64, error) {
+	if trials <= 0 {
+		trials = 100
+	}
+	var body []int64
+	for _, x := range data {
+		if x < fit.Xmin {
+			body = append(body, x)
+		}
+	}
+	pTail := float64(fit.NTail) / float64(fit.N)
+	sampler := fit.Dist().NewSampler(r)
+	exceed := 0
+	synth := make([]int64, fit.N)
+	for t := 0; t < trials; t++ {
+		for i := range synth {
+			if len(body) == 0 || r.Float64() < pTail {
+				synth[i] = sampler.Sample()
+			} else {
+				synth[i] = body[r.Intn(len(body))]
+			}
+		}
+		sf, err := Estimate(synth, opts)
+		if err != nil {
+			continue
+		}
+		if sf.KS > fit.KS {
+			exceed++
+		}
+	}
+	return float64(exceed) / float64(trials), nil
+}

@@ -1,0 +1,251 @@
+package powerlaw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHurwitzZetaKnownValues(t *testing.T) {
+	cases := []struct {
+		s, q, want float64
+	}{
+		{2, 1, math.Pi * math.Pi / 6},     // ζ(2) = π²/6
+		{3, 1, 1.2020569031595943},        // Apéry's constant
+		{2, 2, math.Pi*math.Pi/6 - 1},     // ζ(2,2) = ζ(2) − 1
+		{4, 1, math.Pow(math.Pi, 4) / 90}, // ζ(4)
+		{2, 10, 0.10516633568168575},      // ζ(2,10)
+		{1.5, 1, 2.6123753486854883},      // ζ(3/2)
+	}
+	for _, c := range cases {
+		got := HurwitzZeta(c.s, c.q)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("ζ(%g,%g) = %.12f, want %.12f", c.s, c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(HurwitzZeta(0.5, 1)) {
+		t.Error("ζ with s<=1 should be NaN")
+	}
+	if !math.IsNaN(HurwitzZeta(2, -1)) {
+		t.Error("ζ with q<=0 should be NaN")
+	}
+}
+
+func TestDistBasics(t *testing.T) {
+	if _, err := NewDist(0.9, 1); err == nil {
+		t.Error("β<=1 accepted")
+	}
+	if _, err := NewDist(2, 0); err == nil {
+		t.Error("xmin<1 accepted")
+	}
+	d, err := NewDist(2.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PMF(2) != 0 {
+		t.Error("pmf below xmin should be 0")
+	}
+	// PMF sums to 1 (truncated sum + survival of the remainder).
+	sum := 0.0
+	for x := int64(3); x < 2000; x++ {
+		sum += d.PMF(x)
+	}
+	sum += d.SF(2000)
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("pmf total = %.9f", sum)
+	}
+	// CDF + SF = 1 at every point.
+	for _, x := range []int64{3, 5, 17, 100} {
+		if got := d.CDF(x) + d.SF(x+1); math.Abs(got-1) > 1e-12 {
+			t.Errorf("CDF(%d)+SF(%d) = %v", x, x+1, got)
+		}
+	}
+	// CDF monotone.
+	prev := 0.0
+	for x := int64(3); x < 50; x++ {
+		c := d.CDF(x)
+		if c < prev {
+			t.Fatalf("CDF not monotone at %d", x)
+		}
+		prev = c
+	}
+}
+
+func TestMean(t *testing.T) {
+	d, _ := NewDist(3, 1)
+	// E[X] = ζ(2)/ζ(3) ≈ 1.3684.
+	want := (math.Pi * math.Pi / 6) / 1.2020569031595943
+	if got := d.Mean(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+	d2, _ := NewDist(1.8, 1)
+	if !math.IsInf(d2.Mean(), 1) {
+		t.Error("mean should be infinite for β<=2")
+	}
+}
+
+func TestSamplerMatchesPMF(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	d, _ := NewDist(2.5, 2)
+	s := d.NewSampler(r)
+	const n = 200000
+	counts := map[int64]int{}
+	for i := 0; i < n; i++ {
+		x := s.Sample()
+		if x < 2 {
+			t.Fatalf("sample %d below xmin", x)
+		}
+		counts[x]++
+	}
+	for _, x := range []int64{2, 3, 5, 10} {
+		emp := float64(counts[x]) / n
+		want := d.PMF(x)
+		if math.Abs(emp-want) > 0.01+0.1*want {
+			t.Errorf("P(%d): empirical %.4f vs pmf %.4f", x, emp, want)
+		}
+	}
+}
+
+func TestFitRecoversParameters(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, beta := range []float64{2.2, 2.8, 3.2} {
+		d, _ := NewDist(beta, 5)
+		s := d.NewSampler(r)
+		data := make([]int64, 20000)
+		for i := range data {
+			data[i] = s.Sample()
+		}
+		fit, err := Estimate(data, FitOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fit.Beta-beta) > 0.15 {
+			t.Errorf("β = %.3f, want ≈%.1f", fit.Beta, beta)
+		}
+		if fit.Xmin > 20 {
+			t.Errorf("x̂min = %d, want near 5", fit.Xmin)
+		}
+		if fit.KS > 0.05 {
+			t.Errorf("KS = %.4f, too large for true power-law data", fit.KS)
+		}
+	}
+}
+
+func TestFitWithBody(t *testing.T) {
+	// Data with a non-power-law body below xmin=20 and a power-law tail:
+	// the estimator should find a cutoff near 20.
+	r := rand.New(rand.NewSource(3))
+	d, _ := NewDist(2.5, 20)
+	s := d.NewSampler(r)
+	data := make([]int64, 0, 30000)
+	for i := 0; i < 20000; i++ {
+		data = append(data, int64(1+r.Intn(19))) // uniform body
+	}
+	for i := 0; i < 10000; i++ {
+		data = append(data, s.Sample())
+	}
+	fit, err := Estimate(data, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Xmin < 15 || fit.Xmin > 30 {
+		t.Errorf("x̂min = %d, want ≈20", fit.Xmin)
+	}
+	if math.Abs(fit.Beta-2.5) > 0.2 {
+		t.Errorf("β = %.3f, want ≈2.5", fit.Beta)
+	}
+}
+
+func TestPValueAcceptsPowerLaw(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	d, _ := NewDist(2.8, 3)
+	s := d.NewSampler(r)
+	data := make([]int64, 3000)
+	for i := range data {
+		data[i] = s.Sample()
+	}
+	fit, err := Estimate(data, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PValue(data, fit, 60, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper rules out the power law when p <= 0.1; true power-law data
+	// must comfortably pass.
+	if p <= 0.1 {
+		t.Errorf("p-value = %.3f for true power-law data", p)
+	}
+}
+
+func TestPValueRejectsGeometric(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	data := make([]int64, 20000)
+	for i := range data {
+		// Geometric (exponential-tailed) data is not a power law.
+		x := int64(1)
+		for r.Float64() < 0.75 {
+			x++
+		}
+		data[i] = x
+	}
+	// Require a substantial tail so the KS-minimizing cutoff cannot hide
+	// in the sparse extreme tail, where anything fits.
+	fit, err := Estimate(data, FitOptions{MinTail: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PValueOpts(data, fit, 60, r, FitOptions{MinTail: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.1 {
+		t.Errorf("p-value = %.3f: geometric data should be ruled out", p)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := Estimate([]int64{1, 2, 3}, FitOptions{}); err == nil {
+		t.Error("tiny data accepted")
+	}
+	if _, err := FitTail([]int64{5}, 1); err == nil {
+		t.Error("single observation accepted")
+	}
+}
+
+func TestKSDistanceZeroForPerfectFit(t *testing.T) {
+	// Empirical data drawn exactly proportional to the pmf over a truncated
+	// support should give a small KS distance.
+	d, _ := NewDist(2.0, 1)
+	var data []int64
+	for x := int64(1); x <= 200; x++ {
+		n := int(math.Round(d.PMF(x) * 100000))
+		for i := 0; i < n; i++ {
+			data = append(data, x)
+		}
+	}
+	fit, err := FitTail(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.KS > 0.02 {
+		t.Errorf("KS = %.4f for near-perfect data", fit.KS)
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	d, _ := NewDist(2.8, 5)
+	s := d.NewSampler(r)
+	data := make([]int64, 10000)
+	for i := range data {
+		data[i] = s.Sample()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Estimate(data, FitOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package rstar
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BulkLoad builds a tree from leaf entries with Sort-Tile-Recursive
+// packing (Leutenegger et al.): entries are tiled into near-full nodes
+// level by level, which yields small node extents without paying for one
+// insertion per entry. The paper suggests periodic rebuilds when the
+// TAR-tree drifts from the data distribution (Section 8.2); bulk loading
+// makes such rebuilds cheap.
+//
+// Bulk loading packs by spatial position, so it applies to the spatial
+// grouping strategies (the integral 3D strategy and IND-spa); trees using
+// custom non-spatial strategies should be built incrementally.
+func BulkLoad(cfg Config, entries []Entry) (*Tree, error) {
+	t := New(cfg)
+	if len(entries) == 0 {
+		return t, nil
+	}
+	for _, e := range entries {
+		if !e.IsLeafEntry() {
+			return nil, fmt.Errorf("rstar: BulkLoad requires leaf entries")
+		}
+	}
+	// Pack at ~90% fill: near-minimal extents while leaving headroom for
+	// subsequent inserts before the first splits.
+	per := t.cfg.Capacity * 9 / 10
+	if per < t.minFill {
+		per = t.minFill
+	}
+	level := 0
+	current := append([]Entry(nil), entries...)
+	var nodes []*Node
+	for {
+		groups := strTile(current, per, t.cfg.Dims, t.minFill, t.cfg.Capacity)
+		nodes = nodes[:0]
+		for _, g := range groups {
+			// Copy: the groups are slices of one shared array, but nodes
+			// mutate their entry slices independently afterwards.
+			nodes = append(nodes, &Node{Level: level, Entries: append([]Entry(nil), g...)})
+		}
+		if len(nodes) == 1 {
+			break
+		}
+		// Build the parent entries for the next round.
+		next := make([]Entry, len(nodes))
+		for i, n := range nodes {
+			e := Entry{Rect: n.MBR(t.cfg.Dims), Child: n}
+			if t.aug != nil {
+				var err error
+				if e.Data, err = t.aug.Make(n, nil); err != nil {
+					return nil, err
+				}
+			}
+			next[i] = e
+		}
+		current = next
+		level++
+	}
+	t.root = nodes[0]
+	t.height = level + 1
+	t.size = len(entries)
+	var fixParents func(n *Node)
+	fixParents = func(n *Node) {
+		for i := range n.Entries {
+			if c := n.Entries[i].Child; c != nil {
+				c.Parent = n
+				fixParents(c)
+			}
+		}
+	}
+	fixParents(t.root)
+	return t, nil
+}
+
+// strTile partitions entries into groups of at most per entries using
+// sort-tile-recursive over the first dims dimensions of the entry centers.
+// Undersized slab tails are merged into their predecessor (and evenly
+// re-split when the merge would overflow), so every group — except a lone
+// root group — meets the tree's minimum fill.
+func strTile(entries []Entry, per, dims, minFill, capacity int) [][]Entry {
+	n := len(entries)
+	if n <= per {
+		return [][]Entry{entries}
+	}
+	groups := tileAxis(entries, per, dims, 0)
+	fixed := groups[:1]
+	for i := 1; i < len(groups); i++ {
+		g := groups[i]
+		if len(g) >= minFill {
+			fixed = append(fixed, g)
+			continue
+		}
+		prev := fixed[len(fixed)-1]
+		combined := append(append([]Entry(nil), prev...), g...)
+		if len(combined) <= capacity {
+			fixed[len(fixed)-1] = combined
+			continue
+		}
+		half := len(combined) / 2
+		fixed[len(fixed)-1] = combined[:half]
+		fixed = append(fixed, combined[half:])
+	}
+	return fixed
+}
+
+// tileAxis recursively slices entries along axis, then tiles the slabs
+// along the next axis; at the last axis it emits runs of per entries.
+func tileAxis(entries []Entry, per, dims, axis int) [][]Entry {
+	n := len(entries)
+	if axis == dims-1 {
+		sortByAxis(entries, axis)
+		var out [][]Entry
+		for i := 0; i < n; i += per {
+			end := i + per
+			if end > n {
+				end = n
+			}
+			out = append(out, entries[i:end:end])
+		}
+		return out
+	}
+	// Number of slabs along this axis: the STR formula generalized to the
+	// remaining dimensions.
+	leaves := int(math.Ceil(float64(n) / float64(per)))
+	rem := dims - axis
+	slabs := int(math.Ceil(math.Pow(float64(leaves), 1/float64(rem))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	slabSize := int(math.Ceil(float64(n) / float64(slabs)))
+	if slabSize < per {
+		slabSize = per
+	}
+	sortByAxis(entries, axis)
+	var out [][]Entry
+	for i := 0; i < n; i += slabSize {
+		end := i + slabSize
+		if end > n {
+			end = n
+		}
+		out = append(out, tileAxis(entries[i:end:end], per, dims, axis+1)...)
+	}
+	return out
+}
+
+func sortByAxis(entries []Entry, axis int) {
+	sort.Slice(entries, func(i, j int) bool {
+		ci := entries[i].Rect.Min[axis] + entries[i].Rect.Max[axis]
+		cj := entries[j].Rect.Min[axis] + entries[j].Rect.Max[axis]
+		return ci < cj
+	})
+}

@@ -1,0 +1,146 @@
+package rstar
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tartree/internal/geo"
+)
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr, err := BulkLoad(Config{Dims: 2, Capacity: 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("len=%d height=%d", tr.Len(), tr.Height())
+	}
+}
+
+func TestBulkLoadRejectsInternalEntries(t *testing.T) {
+	if _, err := BulkLoad(Config{Dims: 2, Capacity: 10},
+		[]Entry{{Child: &Node{}}}); err == nil {
+		t.Fatal("internal entry accepted")
+	}
+}
+
+func TestBulkLoadInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for _, n := range []int{1, 9, 10, 11, 100, 1234, 5000} {
+		entries := make([]Entry, n)
+		for i := range entries {
+			entries[i] = Entry{Rect: pt(r.Float64()*100, r.Float64()*100), Item: Item(i)}
+		}
+		tr, err := BulkLoad(Config{Dims: 2, Capacity: 10}, entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("n=%d: len=%d", n, tr.Len())
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Every item findable.
+		got := rangeSearch(tr, geo.Rect{Min: geo.Vector{-1, -1}, Max: geo.Vector{101, 101}})
+		if len(got) != n {
+			t.Fatalf("n=%d: found %d items", n, len(got))
+		}
+	}
+}
+
+func TestBulkLoad3D(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	entries := make([]Entry, 2000)
+	for i := range entries {
+		v := geo.Vector{r.Float64(), r.Float64(), r.Float64()}
+		entries[i] = Entry{Rect: geo.PointRect(v), Item: Item(i)}
+	}
+	tr, err := BulkLoad(Config{Dims: 3, Capacity: 36}, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	q := geo.Rect{Min: geo.Vector{0.4, 0.4, 0.4}, Max: geo.Vector{0.6, 0.6, 0.6}}
+	var want []Item
+	for _, e := range entries {
+		if e.Rect.Intersects(q, 3) {
+			want = append(want, e.Item)
+		}
+	}
+	got := rangeSearch(tr, q)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("got %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal("range mismatch")
+		}
+	}
+}
+
+func TestBulkLoadWithAugmenter(t *testing.T) {
+	aug := &countingAug{}
+	r := rand.New(rand.NewSource(8))
+	entries := make([]Entry, 777)
+	for i := range entries {
+		entries[i] = Entry{Rect: pt(r.Float64()*10, r.Float64()*10), Item: Item(i)}
+	}
+	tr, err := BulkLoad(Config{Dims: 2, Capacity: 8, Aug: aug}, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAug(t, tr)
+	// Inserts after a bulk load keep everything consistent.
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(Entry{Rect: pt(r.Float64()*10, r.Float64()*10), Item: Item(1000 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	checkAug(t, tr)
+}
+
+// Bulk-loaded trees should have tighter packing (fewer nodes) than
+// incrementally built ones.
+func TestBulkLoadPacksTighter(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	entries := make([]Entry, 3000)
+	inc := New(Config{Dims: 2, Capacity: 20})
+	for i := range entries {
+		entries[i] = Entry{Rect: pt(r.Float64()*100, r.Float64()*100), Item: Item(i)}
+		if err := inc.Insert(entries[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bulk, err := BulkLoad(Config{Dims: 2, Capacity: 20}, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, bi := bulk.NodeCount()
+	il, ii := inc.NodeCount()
+	if bl+bi >= il+ii {
+		t.Errorf("bulk %d nodes >= incremental %d", bl+bi, il+ii)
+	}
+}
+
+func BenchmarkBulkLoad(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	entries := make([]Entry, 50000)
+	for i := range entries {
+		entries[i] = Entry{Rect: pt(r.Float64()*1000, r.Float64()*1000), Item: Item(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BulkLoad(Config{Dims: 2, Capacity: 50}, entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

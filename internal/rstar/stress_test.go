@@ -1,0 +1,81 @@
+package rstar
+
+import (
+	"math/rand"
+	"testing"
+
+	"tartree/internal/geo"
+)
+
+func TestInterleavedInsertDeleteStress(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	tr := New(Config{Dims: 2, Capacity: 8})
+	type obj struct {
+		rect geo.Rect
+		item Item
+	}
+	var live []obj
+	next := 0
+	for step := 0; step < 20000; step++ {
+		if r.Intn(3) != 0 || len(live) < 5 {
+			o := obj{pt(r.Float64(), r.Float64()), Item(next)}
+			next++
+			if err := tr.Insert(Entry{Rect: o.rect, Item: o.item}); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			live = append(live, o)
+		} else {
+			i := r.Intn(len(live))
+			ok, err := tr.Delete(live[i].rect, live[i].item)
+			if err != nil || !ok {
+				t.Fatalf("step %d: delete %v %v", step, ok, err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+func TestBulkLoadThenMutateStress(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	type obj struct {
+		rect geo.Rect
+		item Item
+	}
+	var live []obj
+	next := 0
+	tr := New(Config{Dims: 2, Capacity: 50})
+	for step := 0; step < 6000; step++ {
+		switch {
+		case step%997 == 0 && len(live) > 0: // periodic bulk rebuild
+			entries := make([]Entry, len(live))
+			for i, o := range live {
+				entries[i] = Entry{Rect: o.rect, Item: o.item}
+			}
+			var err error
+			tr, err = BulkLoad(Config{Dims: 2, Capacity: 50}, entries)
+			if err != nil {
+				t.Fatalf("step %d: bulk: %v", step, err)
+			}
+		case r.Intn(3) != 0 || len(live) < 5:
+			o := obj{pt(r.Float64(), r.Float64()), Item(next)}
+			next++
+			if err := tr.Insert(Entry{Rect: o.rect, Item: o.item}); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			live = append(live, o)
+		default:
+			i := r.Intn(len(live))
+			ok, err := tr.Delete(live[i].rect, live[i].item)
+			if err != nil || !ok {
+				t.Fatalf("step %d: delete %v %v", step, ok, err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package seqscan
+
+import (
+	"math"
+	"testing"
+
+	"tartree/internal/core"
+	"tartree/internal/geo"
+	"tartree/internal/lbsn"
+	"tartree/internal/tia"
+)
+
+func world() geo.Rect {
+	return geo.Rect{Min: geo.Vector{0, 0}, Max: geo.Vector{100, 100}}
+}
+
+func TestEmptyScanner(t *testing.T) {
+	s := New(world(), tia.Contained)
+	res, err := s.Query(core.Query{X: 1, Y: 1, Iq: tia.Interval{Start: 0, End: 10}, K: 3, Alpha0: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("results from empty scanner: %v", res)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	s := New(world(), tia.Contained)
+	if _, err := s.Query(core.Query{K: 0, Alpha0: 0.5, Iq: tia.Interval{Start: 0, End: 1}}); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	// Reuse the Section 3.2 example: top-1 must be f with score ≈0.058.
+	s := New(geo.Rect{Min: geo.Vector{0, 0}, Max: geo.Vector{11, 11}}, tia.Contained)
+	aggs := map[string][3]int64{
+		"a": {1, 1, 0}, "b": {1, 0, 1}, "c": {2, 2, 2}, "d": {2, 0, 0},
+		"e": {1, 1, 0}, "f": {3, 5, 4}, "g": {2, 3, 1}, "h": {1, 1, 0},
+		"i": {2, 2, 2}, "j": {2, 0, 0}, "k": {1, 0, 1}, "l": {1, 0, 1},
+	}
+	pos := map[string][2]float64{
+		"a": {2, 9}, "b": {4, 10}, "c": {6, 9}, "d": {1, 7},
+		"e": {6, 7}, "f": {8, 5}, "g": {9, 6}, "h": {1, 4},
+		"i": {9, 3}, "j": {2, 1}, "k": {4, 2}, "l": {1, 1},
+	}
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"}
+	for i, name := range names {
+		var hist []tia.Record
+		for ep, a := range aggs[name] {
+			if a > 0 {
+				hist = append(hist, tia.Record{Ts: int64(ep), Te: int64(ep + 1), Agg: a})
+			}
+		}
+		p := pos[name]
+		s.Add(core.POI{ID: int64(i + 1), X: p[0], Y: p[1]}, hist)
+	}
+	res, err := s.Query(core.Query{X: 5, Y: 5, Iq: tia.Interval{Start: 0, End: 3}, K: 1, Alpha0: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].POI.ID != 6 {
+		t.Fatalf("top-1 = %+v, want f", res)
+	}
+	if math.Abs(res[0].Score-0.058) > 0.002 {
+		t.Errorf("score = %.4f, want ≈0.058", res[0].Score)
+	}
+}
+
+// TestMatchesTARTree: the baseline and every TAR-tree variant return the
+// same top-k scores on generated LBSN data.
+func TestMatchesTARTree(t *testing.T) {
+	d, err := lbsn.Generate(lbsn.NYC.Scaled(0.03))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := New(d.World, tia.Contained)
+	for i := range d.POIs {
+		p := &d.POIs[i]
+		hist := lbsn.History(p, d.Spec.Start, 7*lbsn.Day, 0)
+		var total int64
+		for _, r := range hist {
+			total += r.Agg
+		}
+		if total < d.Spec.MinEffective {
+			continue
+		}
+		scan.Add(core.POI{ID: p.ID, X: p.X, Y: p.Y}, hist)
+	}
+	for _, g := range []core.Grouping{core.TAR3D, core.IndSpa, core.IndAgg} {
+		tr, err := d.Build(lbsn.BuildOptions{Grouping: g})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != scan.Len() {
+			t.Fatalf("%v: tree has %d POIs, scanner %d", g, tr.Len(), scan.Len())
+		}
+		for _, q := range d.Queries(15, 10, 0.3, 42) {
+			want, err := scan.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := tr.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%v: %d vs %d results", g, len(got), len(want))
+			}
+			for i := range got {
+				if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+					t.Fatalf("%v pos %d: %.9f vs %.9f", g, i, got[i].Score, want[i].Score)
+				}
+			}
+		}
+	}
+}
+
+func TestTopKOrderingAndTies(t *testing.T) {
+	s := New(world(), tia.Contained)
+	// Four POIs at identical distance with distinct aggregates.
+	for i := int64(1); i <= 4; i++ {
+		s.Add(core.POI{ID: i, X: 50 + float64(i), Y: 50},
+			[]tia.Record{{Ts: 0, Te: 10, Agg: i}})
+	}
+	res, err := s.Query(core.Query{X: 50, Y: 50, Iq: tia.Interval{Start: 0, End: 10}, K: 4, Alpha0: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score < res[i-1].Score {
+			t.Fatal("results out of order")
+		}
+	}
+	// With α0 small, the biggest aggregate wins.
+	if res[0].POI.ID != 4 {
+		t.Errorf("top-1 = %d, want 4", res[0].POI.ID)
+	}
+}

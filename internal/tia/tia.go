@@ -1,0 +1,514 @@
+// Package tia implements the temporal index on the aggregate (TIA) of the
+// TAR-tree (Section 4.1 of the paper). A TIA belongs to one tree entry and
+// stores one record ⟨ts, te, agg⟩ per epoch with a non-zero aggregate: the
+// epoch's start time, end time and aggregate value. The TIA of a leaf entry
+// stores the POI's own aggregates; the TIA of an internal entry stores, per
+// epoch, the maximum aggregate among the TIAs in its child node.
+//
+// Three interchangeable backends are provided: an in-memory sorted slice,
+// a disk-based B+-tree (the default; one small buffer pool per TIA, as in
+// the paper's setup), and the multi-version B-tree the paper names.
+package tia
+
+import (
+	"math"
+	"sort"
+
+	"tartree/internal/btree"
+	"tartree/internal/mvbt"
+	"tartree/internal/pagestore"
+)
+
+// Record is one epoch's aggregate: the half-open epoch [Ts, Te) and the
+// aggregate value Agg accumulated during it.
+type Record struct {
+	Ts, Te, Agg int64
+}
+
+// Interval is a half-open query time interval [Start, End).
+type Interval struct {
+	Start, End int64
+}
+
+// Contains reports whether the record's epoch lies entirely inside iv.
+func (iv Interval) Contains(r Record) bool { return iv.Start <= r.Ts && r.Te <= iv.End }
+
+// Intersects reports whether the record's epoch overlaps iv.
+func (iv Interval) Intersects(r Record) bool { return r.Ts < iv.End && iv.Start < r.Te }
+
+// Semantics selects how records are matched against a query interval.
+// Section 4.3 of the paper sums the records whose epoch is contained in
+// the query interval; Section 3.1 describes intersection. Both are
+// supported; Contained is the default everywhere.
+type Semantics int
+
+const (
+	// Contained matches records whose epoch lies inside the interval.
+	Contained Semantics = iota
+	// Intersecting matches records whose epoch overlaps the interval.
+	Intersecting
+)
+
+// Func combines the matching records' values into the temporal aggregate.
+// Section 3.1 lists count, min, max, sum and average; count and sum are the
+// same fold (each record already holds the epoch's count), and max is the
+// other fold consistent with the TAR-tree's internal TIAs: an internal
+// entry stores per-epoch maxima over a superset of any child's epochs, so
+// both its interval sum and its interval maximum upper-bound every child's.
+// Min and average lack that property (a sibling's small epoch value could
+// undercut a child's minimum), so they would need a second, min-folding
+// TIA per entry; they are intentionally not provided.
+type Func int
+
+const (
+	// FuncSum adds the matching records' values (count/sum aggregates).
+	FuncSum Func = iota
+	// FuncMax takes the largest matching value (max aggregate: "the
+	// busiest single epoch in the interval").
+	FuncMax
+)
+
+// fold accumulates v into acc under f.
+func (f Func) fold(acc, v int64) int64 {
+	if f == FuncMax {
+		if v > acc {
+			return v
+		}
+		return acc
+	}
+	return acc + v
+}
+
+// Index is a single TIA.
+//
+// Implementations are not safe for concurrent mutation; the TAR-tree
+// serializes maintenance per entry.
+type Index interface {
+	// Put inserts the record for the epoch starting at rec.Ts, overwriting
+	// a previous record for the same epoch (internal entries overwrite when
+	// a POI insertion raises the per-epoch maximum).
+	Put(rec Record) error
+	// Aggregate sums the Agg of all records matching iv under sem.
+	Aggregate(iv Interval, sem Semantics) (int64, error)
+	// AggregateFunc folds the matching records' values with f.
+	AggregateFunc(iv Interval, sem Semantics, f Func) (int64, error)
+	// Visit iterates all records in ascending Ts order, stopping early when
+	// fn returns false.
+	Visit(fn func(Record) bool) error
+	// Len returns the number of stored records.
+	Len() int
+	// Destroy releases any storage held by the index. The index must not be
+	// used afterwards. It is called when an internal entry's TIA is rebuilt
+	// after the R-tree regroups entries.
+	Destroy() error
+}
+
+// Factory creates Indexes that share a storage substrate and aggregate
+// their page-access statistics (the experiments report TIA accesses).
+type Factory interface {
+	New() (Index, error)
+	// Stats returns combined page traffic of every index created so far.
+	Stats() pagestore.Stats
+	ResetStats()
+	// SetBufferSlots changes the per-index buffer size for indexes created
+	// afterwards (the collective-processing experiment uses zero slots).
+	SetBufferSlots(slots int)
+}
+
+// spanTracker records the widest epoch seen, so intersection queries know
+// how far left of the interval a relevant record can start.
+type spanTracker struct {
+	maxSpan int64
+}
+
+func (s *spanTracker) note(r Record) {
+	if d := r.Te - r.Ts; d > s.maxSpan {
+		s.maxSpan = d
+	}
+}
+
+// scanLow returns the lowest Ts that could match iv under sem.
+func (s *spanTracker) scanLow(iv Interval, sem Semantics) int64 {
+	if sem == Contained {
+		return iv.Start
+	}
+	lo := iv.Start - s.maxSpan
+	if lo > iv.Start { // overflow guard
+		lo = math.MinInt64
+	}
+	return lo
+}
+
+func match(r Record, iv Interval, sem Semantics) bool {
+	if sem == Contained {
+		return iv.Contains(r)
+	}
+	return iv.Intersects(r)
+}
+
+// ---------------------------------------------------------------------------
+// In-memory backend
+
+// Mem is an in-memory Index backed by a sorted slice. It is used for the
+// in-memory mirrors the TAR-tree keeps for grouping decisions, and in tests.
+type Mem struct {
+	spanTracker
+	recs []Record
+}
+
+// NewMem returns an empty in-memory index.
+func NewMem() *Mem { return &Mem{} }
+
+// Put implements Index.
+func (m *Mem) Put(rec Record) error {
+	m.note(rec)
+	i := sort.Search(len(m.recs), func(i int) bool { return m.recs[i].Ts >= rec.Ts })
+	if i < len(m.recs) && m.recs[i].Ts == rec.Ts {
+		m.recs[i] = rec
+		return nil
+	}
+	m.recs = append(m.recs, Record{})
+	copy(m.recs[i+1:], m.recs[i:])
+	m.recs[i] = rec
+	return nil
+}
+
+// Aggregate implements Index.
+func (m *Mem) Aggregate(iv Interval, sem Semantics) (int64, error) {
+	return m.AggregateFunc(iv, sem, FuncSum)
+}
+
+// AggregateFunc implements Index.
+func (m *Mem) AggregateFunc(iv Interval, sem Semantics, f Func) (int64, error) {
+	lo := m.scanLow(iv, sem)
+	i := sort.Search(len(m.recs), func(i int) bool { return m.recs[i].Ts >= lo })
+	var acc int64
+	for ; i < len(m.recs) && m.recs[i].Ts < iv.End; i++ {
+		if match(m.recs[i], iv, sem) {
+			acc = f.fold(acc, m.recs[i].Agg)
+		}
+	}
+	return acc, nil
+}
+
+// Visit implements Index.
+func (m *Mem) Visit(fn func(Record) bool) error {
+	for _, r := range m.recs {
+		if !fn(r) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Len implements Index.
+func (m *Mem) Len() int { return len(m.recs) }
+
+// Records exposes the sorted record slice. Callers must not modify it; the
+// TAR-tree's grouping strategies use it for fast distribution distances.
+func (m *Mem) Records() []Record { return m.recs }
+
+// Total returns the sum of all aggregate values.
+func (m *Mem) Total() int64 {
+	var s int64
+	for _, r := range m.recs {
+		s += r.Agg
+	}
+	return s
+}
+
+// ManhattanRecords returns the L1 distance between two sorted record sets,
+// treating missing epochs as zero. This is the aggregate-distribution
+// distance of the paper's IND-agg grouping strategy (Section 5.1).
+func ManhattanRecords(a, b []Record) int64 {
+	var d int64
+	i, j := 0, 0
+	abs := func(x int64) int64 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Ts == b[j].Ts:
+			d += abs(a[i].Agg - b[j].Agg)
+			i++
+			j++
+		case a[i].Ts < b[j].Ts:
+			d += abs(a[i].Agg)
+			i++
+		default:
+			d += abs(b[j].Agg)
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		d += abs(a[i].Agg)
+	}
+	for ; j < len(b); j++ {
+		d += abs(b[j].Agg)
+	}
+	return d
+}
+
+// Destroy implements Index.
+func (m *Mem) Destroy() error {
+	m.recs = nil
+	return nil
+}
+
+// MemFactory creates Mem indexes. Its stats are always zero: memory access
+// is free in the paper's cost accounting.
+type MemFactory struct{}
+
+// NewMemFactory returns a factory of in-memory indexes.
+func NewMemFactory() *MemFactory { return &MemFactory{} }
+
+// New implements Factory.
+func (*MemFactory) New() (Index, error) { return NewMem(), nil }
+
+// Stats implements Factory.
+func (*MemFactory) Stats() pagestore.Stats { return pagestore.Stats{} }
+
+// ResetStats implements Factory.
+func (*MemFactory) ResetStats() {}
+
+// SetBufferSlots implements Factory.
+func (*MemFactory) SetBufferSlots(int) {}
+
+// ---------------------------------------------------------------------------
+// B+-tree backend
+
+// BTree is an Index stored in a disk-based B+-tree keyed by epoch start.
+type BTree struct {
+	spanTracker
+	tree *btree.Tree
+	buf  *pagestore.Buffer
+}
+
+// Put implements Index.
+func (b *BTree) Put(rec Record) error {
+	b.note(rec)
+	return b.tree.Put(rec.Ts, btree.Value{rec.Te, rec.Agg})
+}
+
+// Aggregate implements Index.
+func (b *BTree) Aggregate(iv Interval, sem Semantics) (int64, error) {
+	return b.AggregateFunc(iv, sem, FuncSum)
+}
+
+// AggregateFunc implements Index.
+func (b *BTree) AggregateFunc(iv Interval, sem Semantics, f Func) (int64, error) {
+	var acc int64
+	err := b.tree.Scan(b.scanLow(iv, sem), iv.End-1, func(ts int64, v btree.Value) bool {
+		if match(Record{Ts: ts, Te: v[0], Agg: v[1]}, iv, sem) {
+			acc = f.fold(acc, v[1])
+		}
+		return true
+	})
+	return acc, err
+}
+
+// Visit implements Index.
+func (b *BTree) Visit(fn func(Record) bool) error {
+	return b.tree.Scan(math.MinInt64, math.MaxInt64, func(ts int64, v btree.Value) bool {
+		return fn(Record{Ts: ts, Te: v[0], Agg: v[1]})
+	})
+}
+
+// Len implements Index.
+func (b *BTree) Len() int { return b.tree.Len() }
+
+// Destroy implements Index.
+func (b *BTree) Destroy() error { return b.tree.Destroy() }
+
+// BTreeFactory creates B+-tree indexes sharing one page file; every index
+// gets its own small buffer pool, matching the paper's "each TIA is
+// assigned a maximum of 10 buffer slots".
+type BTreeFactory struct {
+	file  pagestore.File
+	slots int
+	bufs  []*pagestore.Buffer
+	sink  pagestore.CounterSink // O(1) combined stats across all buffers
+	base  pagestore.Stats       // totals captured at the last ResetStats
+}
+
+// NewBTreeFactory creates a factory over an in-memory simulated disk with
+// the given page size and per-index buffer slots.
+func NewBTreeFactory(pageSize, slots int) *BTreeFactory {
+	return NewBTreeFactoryWithFile(pagestore.NewMemFile(pageSize), slots)
+}
+
+// NewBTreeFactoryWithFile creates a factory over an existing page file.
+func NewBTreeFactoryWithFile(f pagestore.File, slots int) *BTreeFactory {
+	return &BTreeFactory{file: f, slots: slots}
+}
+
+// New implements Factory.
+func (f *BTreeFactory) New() (Index, error) {
+	buf := pagestore.NewBufferWithSink(f.file, f.slots, &f.sink)
+	t, err := btree.New(buf)
+	if err != nil {
+		return nil, err
+	}
+	f.bufs = append(f.bufs, buf)
+	return &BTree{tree: t, buf: buf}, nil
+}
+
+// Stats implements Factory. It reads the shared counter sink, so it is
+// O(1) no matter how many TIAs exist; the best-first search snapshots it
+// around every entry score.
+func (f *BTreeFactory) Stats() pagestore.Stats {
+	return f.sink.Snapshot().Sub(f.base)
+}
+
+// ResetStats implements Factory.
+func (f *BTreeFactory) ResetStats() {
+	f.base = f.sink.Snapshot()
+}
+
+// SetBufferSlots implements Factory. It also resizes existing buffers so an
+// experiment can switch an entire tree between buffered and unbuffered.
+func (f *BTreeFactory) SetBufferSlots(slots int) {
+	f.slots = slots
+	for _, b := range f.bufs {
+		b.Resize(slots) //nolint:errcheck // resize of mem file cannot fail
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Multi-version B-tree backend
+
+// MVBT is an Index stored in a multi-version B-tree, the implementation the
+// paper names. Records are inserted at monotonically increasing versions
+// and queried at the current version.
+type MVBT struct {
+	spanTracker
+	tree *mvbt.Tree
+	buf  *pagestore.Buffer
+	n    int
+}
+
+// Put implements Index.
+func (m *MVBT) Put(rec Record) error {
+	m.note(rec)
+	v := m.tree.Now()
+	if rec.Ts > v {
+		v = rec.Ts
+	}
+	if _, ok, err := m.tree.Get(v, rec.Ts); err != nil {
+		return err
+	} else if ok {
+		return m.tree.Update(v, rec.Ts, mvbt.Value{rec.Te, rec.Agg})
+	}
+	m.n++
+	return m.tree.Insert(v, rec.Ts, mvbt.Value{rec.Te, rec.Agg})
+}
+
+// Aggregate implements Index.
+func (m *MVBT) Aggregate(iv Interval, sem Semantics) (int64, error) {
+	return m.AggregateFunc(iv, sem, FuncSum)
+}
+
+// AggregateFunc implements Index.
+func (m *MVBT) AggregateFunc(iv Interval, sem Semantics, f Func) (int64, error) {
+	var acc int64
+	err := m.tree.ScanAt(m.tree.Now(), m.scanLow(iv, sem), iv.End-1, func(ts int64, v mvbt.Value) bool {
+		if match(Record{Ts: ts, Te: v[0], Agg: v[1]}, iv, sem) {
+			acc = f.fold(acc, v[1])
+		}
+		return true
+	})
+	return acc, err
+}
+
+// Visit implements Index.
+func (m *MVBT) Visit(fn func(Record) bool) error {
+	return m.tree.ScanAt(m.tree.Now(), math.MinInt64, math.MaxInt64, func(ts int64, v mvbt.Value) bool {
+		return fn(Record{Ts: ts, Te: v[0], Agg: v[1]})
+	})
+}
+
+// Len implements Index.
+func (m *MVBT) Len() int { return m.n }
+
+// Destroy implements Index.
+func (m *MVBT) Destroy() error {
+	// Historical MVBT nodes are shared with no free-list bookkeeping; we
+	// simply drop the buffer. The factory's file reclaims space only when
+	// it is closed, which matches how scratch MVBTs are used.
+	m.buf.Drop()
+	return nil
+}
+
+// MVBTFactory creates MVBT indexes sharing one page file.
+type MVBTFactory struct {
+	file  pagestore.File
+	slots int
+	bufs  []*pagestore.Buffer
+	sink  pagestore.CounterSink
+	base  pagestore.Stats
+}
+
+// NewMVBTFactory creates a factory over an in-memory simulated disk.
+func NewMVBTFactory(pageSize, slots int) *MVBTFactory {
+	return &MVBTFactory{file: pagestore.NewMemFile(pageSize), slots: slots}
+}
+
+// New implements Factory.
+func (f *MVBTFactory) New() (Index, error) {
+	buf := pagestore.NewBufferWithSink(f.file, f.slots, &f.sink)
+	t, err := mvbt.New(buf)
+	if err != nil {
+		return nil, err
+	}
+	f.bufs = append(f.bufs, buf)
+	return &MVBT{tree: t, buf: buf}, nil
+}
+
+// Stats implements Factory (O(1) via the shared sink).
+func (f *MVBTFactory) Stats() pagestore.Stats {
+	return f.sink.Snapshot().Sub(f.base)
+}
+
+// ResetStats implements Factory.
+func (f *MVBTFactory) ResetStats() {
+	f.base = f.sink.Snapshot()
+}
+
+// SetBufferSlots implements Factory.
+func (f *MVBTFactory) SetBufferSlots(slots int) {
+	f.slots = slots
+	for _, b := range f.bufs {
+		b.Resize(slots) //nolint:errcheck
+	}
+}
+
+// MaxMerge stores into dst the per-epoch maximum of dst and src: for every
+// epoch in src, dst's record becomes the larger aggregate. This is how an
+// internal entry's TIA is maintained (Section 4.1: "the TIA of an internal
+// entry stores the largest aggregate value of the TIAs in the child node
+// for each epoch").
+func MaxMerge(dst, src Index) error {
+	var rs []Record
+	if err := src.Visit(func(r Record) bool { rs = append(rs, r); return true }); err != nil {
+		return err
+	}
+	var ds []Record
+	if err := dst.Visit(func(r Record) bool { ds = append(ds, r); return true }); err != nil {
+		return err
+	}
+	have := make(map[int64]int64, len(ds))
+	for _, r := range ds {
+		have[r.Ts] = r.Agg
+	}
+	for _, r := range rs {
+		if cur, ok := have[r.Ts]; !ok || r.Agg > cur {
+			if err := dst.Put(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package tia
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// factories under test; each subtest runs against all backends.
+func factories() map[string]Factory {
+	return map[string]Factory{
+		"mem":   NewMemFactory(),
+		"btree": NewBTreeFactory(1024, 10),
+		"mvbt":  NewMVBTFactory(1024, 10),
+	}
+}
+
+func TestIntervalPredicates(t *testing.T) {
+	r := Record{Ts: 10, Te: 20, Agg: 1}
+	cases := []struct {
+		iv                   Interval
+		contains, intersects bool
+	}{
+		{Interval{10, 20}, true, true},
+		{Interval{5, 25}, true, true},
+		{Interval{10, 19}, false, true},
+		{Interval{11, 20}, false, true},
+		{Interval{0, 10}, false, false},  // touches at start, half-open
+		{Interval{20, 30}, false, false}, // touches at end
+		{Interval{15, 16}, false, true},  // inside the epoch
+		{Interval{0, 5}, false, false},
+	}
+	for i, c := range cases {
+		if got := c.iv.Contains(r); got != c.contains {
+			t.Errorf("case %d: Contains = %v, want %v", i, got, c.contains)
+		}
+		if got := c.iv.Intersects(r); got != c.intersects {
+			t.Errorf("case %d: Intersects = %v, want %v", i, got, c.intersects)
+		}
+	}
+}
+
+func TestPaperExampleAggregate(t *testing.T) {
+	// Table 1 / Section 3.2: POI f has aggregates 3, 5, 4 over the three
+	// epochs; over [t0, tc] the aggregate is 12. Use epochs of length 1.
+	for name, f := range factories() {
+		t.Run(name, func(t *testing.T) {
+			idx, err := f.New()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, agg := range []int64{3, 5, 4} {
+				if err := idx.Put(Record{Ts: int64(i), Te: int64(i + 1), Agg: agg}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := idx.Aggregate(Interval{0, 3}, Contained)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != 12 {
+				t.Errorf("aggregate over [t0,tc] = %d, want 12", got)
+			}
+			// Only the middle epoch is contained in [1, 2).
+			if got, _ := idx.Aggregate(Interval{1, 2}, Contained); got != 5 {
+				t.Errorf("aggregate over [t1,t2) = %d, want 5", got)
+			}
+			// Intersection over a partial window catches neighbours.
+			if got, _ := idx.Aggregate(Interval{1, 2}, Intersecting); got != 5 {
+				t.Errorf("intersecting over [1,2) = %d, want 5", got)
+			}
+			if got, _ := idx.Aggregate(Interval{0, 2}, Intersecting); got != 8 {
+				t.Errorf("intersecting over [0,2) = %d, want 8", got)
+			}
+		})
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	for name, f := range factories() {
+		t.Run(name, func(t *testing.T) {
+			idx, _ := f.New()
+			idx.Put(Record{Ts: 100, Te: 200, Agg: 3})
+			idx.Put(Record{Ts: 100, Te: 200, Agg: 7})
+			if idx.Len() != 1 {
+				t.Fatalf("len = %d, want 1", idx.Len())
+			}
+			if got, _ := idx.Aggregate(Interval{0, 1000}, Contained); got != 7 {
+				t.Errorf("aggregate = %d, want 7 (overwritten)", got)
+			}
+		})
+	}
+}
+
+func TestVisitOrderAndEarlyStop(t *testing.T) {
+	for name, f := range factories() {
+		t.Run(name, func(t *testing.T) {
+			idx, _ := f.New()
+			// Insert out of order for the mem backend; disk backends get
+			// ascending inserts in practice, but must cope regardless.
+			order := []int64{50, 10, 30, 20, 40}
+			if name == "mvbt" {
+				// MVBT requires non-decreasing versions; feed ascending.
+				order = []int64{10, 20, 30, 40, 50}
+			}
+			for _, ts := range order {
+				idx.Put(Record{Ts: ts, Te: ts + 10, Agg: ts})
+			}
+			var got []int64
+			idx.Visit(func(r Record) bool { got = append(got, r.Ts); return true })
+			want := []int64{10, 20, 30, 40, 50}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("visit order = %v", got)
+				}
+			}
+			n := 0
+			idx.Visit(func(r Record) bool { n++; return n < 2 })
+			if n != 2 {
+				t.Errorf("early stop visited %d", n)
+			}
+		})
+	}
+}
+
+// Property: Aggregate equals a brute-force sum over Visit, for random
+// epoch layouts and random query intervals, under both semantics.
+func TestAggregateMatchesBruteForce(t *testing.T) {
+	for name, f := range factories() {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(11))
+			for trial := 0; trial < 30; trial++ {
+				idx, err := f.New()
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Random consecutive epochs with random lengths; some zero
+				// epochs skipped (non-zero aggregates only, like real TIAs).
+				t0 := int64(r.Intn(100))
+				ts := t0
+				var recs []Record
+				for i := 0; i < 50; i++ {
+					te := ts + int64(1+r.Intn(20))
+					if r.Intn(4) != 0 { // 3/4 of epochs have check-ins
+						rec := Record{Ts: ts, Te: te, Agg: int64(1 + r.Intn(9))}
+						recs = append(recs, rec)
+						if err := idx.Put(rec); err != nil {
+							t.Fatal(err)
+						}
+					}
+					ts = te
+				}
+				for q := 0; q < 40; q++ {
+					a := t0 - 10 + int64(r.Intn(int(ts-t0)+20))
+					b := a + int64(r.Intn(200))
+					iv := Interval{a, b}
+					for _, sem := range []Semantics{Contained, Intersecting} {
+						var want int64
+						for _, rec := range recs {
+							if match(rec, iv, sem) {
+								want += rec.Agg
+							}
+						}
+						got, err := idx.Aggregate(iv, sem)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got != want {
+							t.Fatalf("%s trial %d iv=%v sem=%d: got %d want %d",
+								name, trial, iv, sem, got, want)
+						}
+					}
+				}
+				idx.Destroy()
+			}
+		})
+	}
+}
+
+func TestFactoryStats(t *testing.T) {
+	f := NewBTreeFactory(512, 0) // unbuffered: every access is physical
+	idx, err := f.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		idx.Put(Record{Ts: int64(i * 10), Te: int64(i*10 + 10), Agg: 1})
+	}
+	if f.Stats().PhysicalReads == 0 {
+		t.Error("expected physical reads with zero buffer slots")
+	}
+	f.ResetStats()
+	if s := f.Stats(); s.PhysicalReads != 0 || s.PhysicalWrites != 0 {
+		t.Errorf("stats after reset = %+v", s)
+	}
+	if _, err := idx.Aggregate(Interval{0, 1000}, Contained); err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().PhysicalReads == 0 {
+		t.Error("aggregate should incur reads")
+	}
+}
+
+func TestFactoryBufferedVsUnbuffered(t *testing.T) {
+	run := func(slots int) int64 {
+		f := NewBTreeFactory(1024, slots)
+		idx, _ := f.New()
+		for i := 0; i < 500; i++ {
+			idx.Put(Record{Ts: int64(i * 10), Te: int64(i*10 + 10), Agg: 1})
+		}
+		f.ResetStats()
+		for q := 0; q < 50; q++ {
+			idx.Aggregate(Interval{0, 5000}, Contained)
+		}
+		return f.Stats().PhysicalReads
+	}
+	buffered, unbuffered := run(10), run(0)
+	if buffered >= unbuffered {
+		t.Errorf("buffered reads (%d) should be fewer than unbuffered (%d)", buffered, unbuffered)
+	}
+}
+
+func TestSetBufferSlots(t *testing.T) {
+	f := NewBTreeFactory(1024, 10)
+	idx, _ := f.New()
+	for i := 0; i < 200; i++ {
+		idx.Put(Record{Ts: int64(i * 10), Te: int64(i*10 + 10), Agg: 1})
+	}
+	f.SetBufferSlots(0)
+	f.ResetStats()
+	idx.Aggregate(Interval{0, 100}, Contained)
+	if f.Stats().PhysicalReads == 0 {
+		t.Error("after SetBufferSlots(0) every read should be physical")
+	}
+}
+
+func TestMaxMerge(t *testing.T) {
+	dst, src := NewMem(), NewMem()
+	// Paper's example from Section 4.1: children {⟨t0,t1,2⟩,⟨t1,t2,2⟩,⟨t2,*,2⟩}
+	// and {⟨t0,t1,2⟩,⟨t1,t2,3⟩,⟨t2,*,1⟩} give parent {2, 3, 2}.
+	for _, r := range []Record{{0, 1, 2}, {1, 2, 2}, {2, 3, 2}} {
+		dst.Put(r)
+	}
+	for _, r := range []Record{{0, 1, 2}, {1, 2, 3}, {2, 3, 1}} {
+		src.Put(r)
+	}
+	if err := MaxMerge(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	dst.Visit(func(r Record) bool { got = append(got, r.Agg); return true })
+	want := []int64{2, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged = %v, want %v", got, want)
+		}
+	}
+	// Merging an epoch missing from dst adds it.
+	src2 := NewMem()
+	src2.Put(Record{Ts: 5, Te: 6, Agg: 9})
+	MaxMerge(dst, src2)
+	if dst.Len() != 4 {
+		t.Errorf("len after merge = %d, want 4", dst.Len())
+	}
+}
+
+func TestDestroyMem(t *testing.T) {
+	m := NewMem()
+	m.Put(Record{0, 1, 5})
+	if err := m.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 {
+		t.Error("destroy should clear records")
+	}
+}
+
+func TestAggregateFuncMax(t *testing.T) {
+	for name, f := range factories() {
+		t.Run(name, func(t *testing.T) {
+			idx, _ := f.New()
+			for i, agg := range []int64{3, 9, 4, 7} {
+				idx.Put(Record{Ts: int64(i * 10), Te: int64(i*10 + 10), Agg: agg})
+			}
+			if got, _ := idx.AggregateFunc(Interval{Start: 0, End: 40}, Contained, FuncMax); got != 9 {
+				t.Errorf("max over all = %d, want 9", got)
+			}
+			if got, _ := idx.AggregateFunc(Interval{Start: 20, End: 40}, Contained, FuncMax); got != 7 {
+				t.Errorf("max over tail = %d, want 7", got)
+			}
+			// Empty match: max of nothing is 0.
+			if got, _ := idx.AggregateFunc(Interval{Start: 100, End: 200}, Contained, FuncMax); got != 0 {
+				t.Errorf("empty max = %d", got)
+			}
+			// Sum via AggregateFunc equals Aggregate.
+			s1, _ := idx.AggregateFunc(Interval{Start: 0, End: 40}, Contained, FuncSum)
+			s2, _ := idx.Aggregate(Interval{Start: 0, End: 40}, Contained)
+			if s1 != s2 || s1 != 23 {
+				t.Errorf("sum = %d/%d, want 23", s1, s2)
+			}
+		})
+	}
+}

@@ -1,0 +1,114 @@
+// Package tartree is the public facade of the TAR-tree library, a
+// reproduction of "K-Nearest Neighbor Temporal Aggregate Queries" (Sun,
+// Qi, Zheng, Zhang; EDBT 2015).
+//
+// A k-nearest neighbor temporal aggregate (kNNTA) query returns the top-k
+// points of interest ranked by a weighted sum of (i) the spatial distance
+// to a query point and (ii) a temporal aggregate — the count of check-ins —
+// over a query time interval:
+//
+//	f(p) = α0·d(p, q) + (1−α0)·(1 − g(p, Iq))
+//
+// The TAR-tree answers such queries with best-first search over an R-tree
+// whose every entry carries a temporal index on the aggregate (TIA), with
+// entries grouped by the integral 3D strategy: two spatial dimensions plus
+// one aggregate-rate dimension.
+//
+// # Quick start
+//
+//	tr, err := tartree.New(tartree.Options{
+//		World:       tartree.WorldRect(0, 0, 100, 100),
+//		EpochStart:  0,
+//		EpochLength: 3600, // one hour
+//	})
+//	tr.InsertPOI(tartree.POI{ID: 1, X: 10, Y: 20}, nil)
+//	tr.AddCheckIn(1, now)
+//	tr.FlushEpochs(now)
+//	results, stats, err := tr.Query(tartree.Query{
+//		X: 12, Y: 18,
+//		Iq:     tartree.Interval{Start: now - 3600, End: now},
+//		K:      10,
+//		Alpha0: 0.3,
+//	})
+//
+// Beyond queries, the library provides the paper's two enhancements — the
+// minimum weight adjustment (internal/mwa) and collective batch processing
+// (internal/batch) — plus the Section 6 cost model (internal/costmodel),
+// power-law fitting (internal/powerlaw), calibrated LBSN data generation
+// (internal/lbsn), and the experiment harness that regenerates every table
+// and figure of the paper's evaluation (internal/bench, cmd/tarbench).
+package tartree
+
+import (
+	"io"
+
+	"tartree/internal/core"
+	"tartree/internal/geo"
+	"tartree/internal/tia"
+)
+
+// Re-exported core types: the facade keeps downstream code decoupled from
+// internal package paths.
+type (
+	// Tree is a TAR-tree index.
+	Tree = core.Tree
+	// Options configures a Tree.
+	Options = core.Options
+	// POI is a point of interest.
+	POI = core.POI
+	// Query is a kNNTA query.
+	Query = core.Query
+	// Result is one ranked answer.
+	Result = core.Result
+	// QueryStats counts the work a query performed.
+	QueryStats = core.QueryStats
+	// Grouping selects the entry-grouping strategy.
+	Grouping = core.Grouping
+	// Interval is a half-open time interval.
+	Interval = tia.Interval
+	// Record is one epoch's aggregate ⟨ts, te, agg⟩.
+	Record = tia.Record
+	// Rect is an axis-aligned rectangle.
+	Rect = geo.Rect
+	// Epochs discretizes the time axis; FixedEpochs is the uniform grid,
+	// GeometricEpochs the varied-length grid of Section 3.1.
+	Epochs = core.Epochs
+	// FixedEpochs is the uniform epoch grid.
+	FixedEpochs = core.FixedEpochs
+	// GeometricEpochs is the doubling-length epoch grid.
+	GeometricEpochs = core.GeometricEpochs
+	// AggFunc folds matched epochs into the temporal aggregate.
+	AggFunc = tia.Func
+)
+
+// Aggregate functions (Section 3.1).
+const (
+	// AggSum counts check-ins over the interval (the default).
+	AggSum = tia.FuncSum
+	// AggMax ranks by the busiest single epoch in the interval.
+	AggMax = tia.FuncMax
+)
+
+// Grouping strategies (Section 5 of the paper).
+const (
+	// TAR3D is the integral 3D strategy — the TAR-tree proper.
+	TAR3D = core.TAR3D
+	// IndSpa groups by spatial extents only.
+	IndSpa = core.IndSpa
+	// IndAgg groups by aggregate-distribution similarity.
+	IndAgg = core.IndAgg
+)
+
+// New creates an empty TAR-tree.
+func New(opts Options) (*Tree, error) { return core.NewTree(opts) }
+
+// Load reconstructs a tree saved with (*Tree).SaveSnapshot. A nil factory
+// selects the default disk B+-tree TIAs.
+func Load(r io.Reader, factory tia.Factory) (*Tree, error) {
+	return core.LoadSnapshot(r, factory)
+}
+
+// WorldRect builds the 2D world rectangle from corner coordinates.
+func WorldRect(x0, y0, x1, y1 float64) Rect {
+	return Rect{Min: geo.Vector{x0, y0}, Max: geo.Vector{x1, y1}}
+}
