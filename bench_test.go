@@ -11,6 +11,8 @@ import (
 	"testing"
 
 	"tartree/internal/bench"
+	"tartree/internal/lbsn"
+	"tartree/internal/obs"
 )
 
 // benchConfig keeps a full -bench=. sweep fast while preserving trends.
@@ -108,3 +110,38 @@ func BenchmarkAblationReinsert(b *testing.B) { runExperiment(b, "abl-reinsert") 
 
 // Cost-model distance-scale correction.
 func BenchmarkAblationDistScale(b *testing.B) { runExperiment(b, "abl-distscale") }
+
+// Observability overhead: BenchmarkQuery_Bare vs BenchmarkQuery_Instrumented
+// run the same query stream against an uninstrumented and a fully
+// instrumented (Options.Metrics, nil trace) tree. Compare with benchstat
+// over -count=10: the expected delta is <2%, because the disabled-trace
+// path is nil-receiver no-ops, per-query metrics are a dozen atomic adds,
+// and the page sink costs one interface call per TIA buffer access. Single
+// runs on a shared machine have more noise than the effect being measured.
+
+func benchQueryTree(b *testing.B, reg *obs.Registry) {
+	b.Helper()
+	spec, err := lbsn.SpecByName("GS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := lbsn.Generate(spec.Scaled(0.06))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := d.Build(lbsn.BuildOptions{Metrics: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := d.Queries(64, 10, 0.3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tr.Query(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuery_Bare(b *testing.B) { benchQueryTree(b, nil) }
+
+func BenchmarkQuery_Instrumented(b *testing.B) { benchQueryTree(b, obs.NewRegistry()) }

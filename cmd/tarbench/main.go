@@ -7,16 +7,26 @@
 //	tarbench -exp fig9                  # one experiment, default datasets
 //	tarbench -exp all -datasets GW,GS   # the full evaluation
 //	tarbench -exp fig6 -scale 1 -queries 1000   # paper-scale run
+//	tarbench -exp fig9 -json .          # also write BENCH_fig9.json
+//
+// With -json DIR each experiment additionally writes a machine-readable
+// BENCH_<exp>.json snapshot: run metadata, the tables, the per-method
+// query-latency histograms, and the per-backend TIA probe totals.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"tartree/internal/bench"
+	"tartree/internal/obs"
+	"tartree/internal/tia"
 )
 
 func main() {
@@ -27,6 +37,7 @@ func main() {
 		scale    = flag.Float64("scale", 0, "data set scale in (0,1]; 0 = per-dataset default")
 		queries  = flag.Int("queries", 0, "queries per measurement; 0 = 200 (paper: 1000)")
 		seed     = flag.Int64("seed", 1, "random seed for query generation")
+		jsonDir  = flag.String("json", "", "also write a BENCH_<exp>.json metrics snapshot into this directory")
 	)
 	flag.Parse()
 
@@ -49,15 +60,83 @@ func main() {
 		ids = []string{*exp}
 	}
 	for _, id := range ids {
+		var reg *obs.Registry
+		if *jsonDir != "" {
+			reg = obs.NewRegistry()
+			cfg.Metrics = reg
+		}
 		start := time.Now()
 		tables, err := bench.Experiments[id](cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tarbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
 		for i := range tables {
 			tables[i].Print(os.Stdout)
 		}
-		fmt.Printf("\n[%s completed in %v]\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("\n[%s completed in %v]\n", id, elapsed.Round(time.Millisecond))
+		if reg != nil {
+			path := filepath.Join(*jsonDir, "BENCH_"+id+".json")
+			if err := writeSnapshot(path, id, cfg, elapsed, tables, reg); err != nil {
+				fmt.Fprintf(os.Stderr, "tarbench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Printf("[snapshot written to %s]\n", path)
+		}
 	}
+}
+
+// benchSnapshot is the BENCH_<exp>.json document: everything needed to
+// compare two runs without re-parsing the printed tables.
+type benchSnapshot struct {
+	Experiment string        `json:"experiment"`
+	StartedAt  time.Time     `json:"started_at"`
+	ElapsedMS  int64         `json:"elapsed_ms"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Config     configMeta    `json:"config"`
+	Tables     []bench.Table `json:"tables"`
+	// Metrics is the obs registry snapshot: the per-method
+	// bench_query_latency_seconds histograms with their quantiles.
+	Metrics map[string]any `json:"metrics"`
+	// TIAProbes is the per-backend probe total over the whole process.
+	TIAProbes map[string]int64 `json:"tia_probes"`
+}
+
+type configMeta struct {
+	Datasets []string `json:"datasets,omitempty"`
+	Scale    float64  `json:"scale"`
+	Queries  int      `json:"queries"`
+	Seed     int64    `json:"seed"`
+}
+
+func writeSnapshot(path, id string, cfg bench.Config, elapsed time.Duration, tables []bench.Table, reg *obs.Registry) error {
+	probes := make(map[string]int64, len(tia.BackendKinds()))
+	for _, k := range tia.BackendKinds() {
+		probes[k.String()] = tia.ProbeCount(k)
+	}
+	snap := benchSnapshot{
+		Experiment: id,
+		StartedAt:  time.Now().Add(-elapsed).UTC(),
+		ElapsedMS:  elapsed.Milliseconds(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Config: configMeta{
+			Datasets: cfg.Datasets,
+			Scale:    cfg.Scale,
+			Queries:  cfg.Queries,
+			Seed:     cfg.Seed,
+		},
+		Tables:    tables,
+		Metrics:   reg.Snapshot(),
+		TIAProbes: probes,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -1,0 +1,90 @@
+// Command tarserve builds a TAR-tree over a synthetic LBSN data set and
+// serves kNNTA queries over HTTP, with the full observability surface:
+//
+//	GET /query?x=50&y=50&k=10&alpha=0.3[&days=128][&trace=1]
+//	GET /metrics        Prometheus text exposition of the obs registry
+//	GET /healthz        liveness, uptime, index size
+//	GET /debug/pprof/   standard Go profiling endpoints
+//
+// Per-request structured access logs go to stderr (slog).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"time"
+
+	"tartree/internal/core"
+	"tartree/internal/lbsn"
+	"tartree/internal/obs"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		name  = flag.String("dataset", "GS", "data set name (NYC, LA, GW, GS)")
+		scale = flag.Float64("scale", 0.1, "data set scale in (0,1]")
+		group = flag.String("grouping", "tar", "entry grouping: tar, spa, agg")
+		logJSON = flag.Bool("logjson", false, "emit access logs as JSON instead of text")
+	)
+	flag.Parse()
+
+	var h slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	log := slog.New(h)
+
+	var g core.Grouping
+	switch *group {
+	case "tar":
+		g = core.TAR3D
+	case "spa":
+		g = core.IndSpa
+	case "agg":
+		g = core.IndAgg
+	default:
+		fatal(fmt.Errorf("unknown grouping %q", *group))
+	}
+
+	spec, err := lbsn.SpecByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	spec = spec.Scaled(*scale)
+	log.Info("generating data set", "dataset", spec.Name, "scale", *scale)
+	d, err := lbsn.Generate(spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	buildStart := time.Now()
+	tr, err := d.Build(lbsn.BuildOptions{Grouping: g, Metrics: reg})
+	if err != nil {
+		fatal(err)
+	}
+	leaves, internals := tr.NodeCount()
+	log.Info("index built",
+		"grouping", g.String(),
+		"pois", tr.Len(),
+		"leaves", leaves,
+		"internals", internals,
+		"height", tr.Height(),
+		"elapsed", time.Since(buildStart).Round(time.Millisecond),
+	)
+
+	srv := newServer(tr, reg, log, d.Spec.Start, d.Spec.End)
+	log.Info("listening", "addr", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tarserve: %v\n", err)
+	os.Exit(1)
+}

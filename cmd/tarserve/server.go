@@ -1,0 +1,267 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"tartree/internal/core"
+	"tartree/internal/lbsn"
+	"tartree/internal/obs"
+	"tartree/internal/tia"
+)
+
+// server answers kNNTA queries over HTTP and exposes the observability
+// surface: /metrics (Prometheus text), /debug/pprof, /healthz.
+type server struct {
+	tree  *core.Tree
+	reg   *obs.Registry
+	log   *slog.Logger
+	start time.Time
+	// span of the indexed data, the default query interval
+	dataStart, dataEnd int64
+
+	// The tree's search path mutates shared buffer state (TIA page
+	// buffers, per-query caches are local but buffer frames are not), so
+	// queries are serialized. Observability endpoints stay lock-free.
+	mu sync.Mutex
+
+	requests *obs.Counter
+	errors   *obs.Counter
+	mux      *http.ServeMux
+}
+
+func newServer(tree *core.Tree, reg *obs.Registry, log *slog.Logger, dataStart, dataEnd int64) *server {
+	s := &server{
+		tree:      tree,
+		reg:       reg,
+		log:       log,
+		start:     time.Now(),
+		dataStart: dataStart,
+		dataEnd:   dataEnd,
+		requests:  reg.Counter("tarserve_http_requests_total"),
+		errors:    reg.Counter("tarserve_http_errors_total"),
+		mux:       http.NewServeMux(),
+	}
+	reg.GaugeFunc("tarserve_goroutines", func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("tarserve_heap_alloc_bytes", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapAlloc)
+	})
+	reg.GaugeFunc("tarserve_uptime_seconds", func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("tarserve_indexed_pois", func() float64 { return float64(tree.Len()) })
+
+	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// pprof registers itself on http.DefaultServeMux; mount the handlers
+	// explicitly so the server owns its mux.
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// statusWriter remembers the status code for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP wraps the mux with the access log and request counters.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	begin := time.Now()
+	s.requests.Inc()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	if sw.status >= 400 {
+		s.errors.Inc()
+	}
+	s.log.Info("request",
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", sw.status,
+		"duration", time.Since(begin),
+		"remote", r.RemoteAddr,
+	)
+}
+
+// queryResponse is the JSON shape of a /query answer.
+type queryResponse struct {
+	Query struct {
+		X      float64 `json:"x"`
+		Y      float64 `json:"y"`
+		K      int     `json:"k"`
+		Alpha0 float64 `json:"alpha0"`
+		Start  int64   `json:"start"`
+		End    int64   `json:"end"`
+	} `json:"query"`
+	Results []queryResult `json:"results"`
+	Stats   struct {
+		InternalAccesses int   `json:"internal_accesses"`
+		LeafAccesses     int   `json:"leaf_accesses"`
+		TIAAccesses      int64 `json:"tia_accesses"`
+		TIAPhysical      int64 `json:"tia_physical"`
+		Scored           int   `json:"scored"`
+		NodeAccesses     int64 `json:"node_accesses"`
+	} `json:"stats"`
+	ElapsedMicros int64                     `json:"elapsed_us"`
+	Trace         map[string]obs.SpanStats  `json:"trace,omitempty"`
+}
+
+type queryResult struct {
+	POI   int64   `json:"poi"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Score float64 `json:"score"`
+	S0    float64 `json:"s0"`
+	S1    float64 `json:"s1"`
+	Agg   int64   `json:"agg"`
+}
+
+// handleQuery answers GET /query?x=..&y=..[&k=][&alpha=][&start=&end=|&days=][&trace=1].
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, traced, err := s.parseQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	var tr *obs.Trace
+	if traced {
+		tr = obs.NewTrace()
+	}
+	begin := time.Now()
+	s.mu.Lock()
+	results, stats, err := s.tree.QueryTraced(q, tr)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	var resp queryResponse
+	resp.Query.X, resp.Query.Y = q.X, q.Y
+	resp.Query.K = q.K
+	resp.Query.Alpha0 = q.Alpha0
+	resp.Query.Start, resp.Query.End = q.Iq.Start, q.Iq.End
+	resp.Results = make([]queryResult, 0, len(results))
+	for _, res := range results {
+		resp.Results = append(resp.Results, queryResult{
+			POI: res.POI.ID, X: res.POI.X, Y: res.POI.Y,
+			Score: res.Score, S0: res.S0, S1: res.S1, Agg: res.Agg,
+		})
+	}
+	resp.Stats.InternalAccesses = stats.InternalAccesses
+	resp.Stats.LeafAccesses = stats.LeafAccesses
+	resp.Stats.TIAAccesses = stats.TIAAccesses
+	resp.Stats.TIAPhysical = stats.TIAPhysical
+	resp.Stats.Scored = stats.Scored
+	resp.Stats.NodeAccesses = stats.NodeAccesses()
+	resp.ElapsedMicros = time.Since(begin).Microseconds()
+	if tr != nil {
+		resp.Trace = make(map[string]obs.SpanStats)
+		for _, sp := range tr.Spans() {
+			resp.Trace[sp.Name] = sp.SpanStats
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseQuery builds the core.Query from URL parameters. x and y are
+// required; the interval defaults to the whole indexed span, or its last
+// `days` days.
+func (s *server) parseQuery(r *http.Request) (core.Query, bool, error) {
+	v := r.URL.Query()
+	q := core.Query{
+		K:      10,
+		Alpha0: 0.3,
+		Iq:     tia.Interval{Start: s.dataStart, End: s.dataEnd},
+	}
+	var err error
+	if q.X, err = floatParam(v.Get("x")); err != nil {
+		return q, false, fmt.Errorf("parameter x: %w", err)
+	}
+	if q.Y, err = floatParam(v.Get("y")); err != nil {
+		return q, false, fmt.Errorf("parameter y: %w", err)
+	}
+	if raw := v.Get("k"); raw != "" {
+		if q.K, err = strconv.Atoi(raw); err != nil {
+			return q, false, fmt.Errorf("parameter k: %w", err)
+		}
+	}
+	if raw := v.Get("alpha"); raw != "" {
+		if q.Alpha0, err = strconv.ParseFloat(raw, 64); err != nil {
+			return q, false, fmt.Errorf("parameter alpha: %w", err)
+		}
+	}
+	if raw := v.Get("days"); raw != "" {
+		days, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return q, false, fmt.Errorf("parameter days: %w", err)
+		}
+		q.Iq.Start = q.Iq.End - days*lbsn.Day
+		if q.Iq.Start < s.dataStart {
+			q.Iq.Start = s.dataStart
+		}
+	}
+	if raw := v.Get("start"); raw != "" {
+		if q.Iq.Start, err = strconv.ParseInt(raw, 10, 64); err != nil {
+			return q, false, fmt.Errorf("parameter start: %w", err)
+		}
+	}
+	if raw := v.Get("end"); raw != "" {
+		if q.Iq.End, err = strconv.ParseInt(raw, 10, 64); err != nil {
+			return q, false, fmt.Errorf("parameter end: %w", err)
+		}
+	}
+	traced := v.Get("trace") == "1" || v.Get("trace") == "true"
+	return q, traced, nil
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"indexed_pois":   s.tree.Len(),
+		"grouping":       s.tree.Grouping().String(),
+	})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := s.reg.WriteTo(w); err != nil {
+		s.log.Error("metrics write failed", "err", err)
+	}
+}
+
+func floatParam(raw string) (float64, error) {
+	if raw == "" {
+		return 0, fmt.Errorf("missing")
+	}
+	return strconv.ParseFloat(raw, 64)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

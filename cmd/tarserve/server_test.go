@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tartree/internal/lbsn"
+	"tartree/internal/obs"
+)
+
+func newTestServer(t *testing.T) (*server, *lbsn.Dataset) {
+	t.Helper()
+	spec, err := lbsn.SpecByName("GS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := lbsn.Generate(spec.Scaled(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	tr, err := d.Build(lbsn.BuildOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	return newServer(tr, reg, log, d.Spec.Start, d.Spec.End), d
+}
+
+func get(t *testing.T, s *server, url string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+	return rec.Code, rec.Body.String()
+}
+
+// TestServeQueryThenMetrics is the end-to-end acceptance check: a kNNTA
+// query over HTTP must leave nonzero query-latency buckets, pagestore
+// hit/miss counters, and per-backend TIA probe counts on /metrics.
+func TestServeQueryThenMetrics(t *testing.T) {
+	s, _ := newTestServer(t)
+
+	code, body := get(t, s, "/query?x=50&y=50&k=5&alpha=0.3&days=128")
+	if code != 200 {
+		t.Fatalf("query status %d: %s", code, body)
+	}
+	var resp queryResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("query response not JSON: %v\n%s", err, body)
+	}
+	if len(resp.Results) == 0 || len(resp.Results) > 5 {
+		t.Fatalf("got %d results, want 1..5", len(resp.Results))
+	}
+	if resp.Stats.NodeAccesses <= 0 || resp.Stats.Scored <= 0 {
+		t.Errorf("query did no work: %+v", resp.Stats)
+	}
+	for i := 1; i < len(resp.Results); i++ {
+		if resp.Results[i].Score < resp.Results[i-1].Score {
+			t.Errorf("results not sorted by score at %d", i)
+		}
+	}
+
+	code, metrics := get(t, s, "/metrics")
+	if code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	if n := metricValue(t, metrics, `tartree_queries_total`); n != 1 {
+		t.Errorf("tartree_queries_total = %g, want 1", n)
+	}
+	if n := metricValue(t, metrics, `tartree_query_latency_seconds_bucket{le="+Inf"}`); n != 1 {
+		t.Errorf("latency +Inf bucket = %g, want 1", n)
+	}
+	if n := metricValue(t, metrics, `tartree_query_latency_seconds_count`); n != 1 {
+		t.Errorf("latency count = %g, want 1", n)
+	}
+	hits := metricValue(t, metrics, `tartree_pagestore_reads_total{result="hit"}`)
+	misses := metricValue(t, metrics, `tartree_pagestore_reads_total{result="miss"}`)
+	if hits+misses <= 0 {
+		t.Errorf("pagestore reads hit=%g miss=%g, want traffic", hits, misses)
+	}
+	if n := metricValue(t, metrics, `tartree_tia_probes_total{backend="btree"}`); n <= 0 {
+		t.Errorf("btree probes = %g, want > 0", n)
+	}
+	if n := metricValue(t, metrics, `tarserve_http_requests_total`); n < 1 {
+		t.Errorf("http requests = %g, want >= 1", n)
+	}
+	for _, ty := range []string{
+		"# TYPE tartree_query_latency_seconds histogram",
+		"# TYPE tartree_pagestore_reads_total counter",
+		"# TYPE tarserve_goroutines gauge",
+	} {
+		if !strings.Contains(metrics, ty) {
+			t.Errorf("missing %q in /metrics", ty)
+		}
+	}
+}
+
+func TestServeQueryTrace(t *testing.T) {
+	s, _ := newTestServer(t)
+	code, body := get(t, s, "/query?x=30&y=70&k=3&trace=1")
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp queryResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	for _, span := range []string{"gmax", "queue_pop", "expand"} {
+		if resp.Trace[span].Count == 0 {
+			t.Errorf("span %q missing from trace: %v", span, resp.Trace)
+		}
+	}
+	// Untraced queries must not carry a trace.
+	_, body = get(t, s, "/query?x=30&y=70&k=3")
+	if strings.Contains(body, `"trace"`) {
+		t.Error("untraced query response contains a trace")
+	}
+}
+
+func TestServeBadRequests(t *testing.T) {
+	s, _ := newTestServer(t)
+	for _, url := range []string{
+		"/query",               // missing x, y
+		"/query?x=abc&y=1",     // non-numeric
+		"/query?x=50&y=50&k=0", // invalid k
+	} {
+		code, body := get(t, s, url)
+		if code != 400 && code != 422 {
+			t.Errorf("GET %s: status %d, want 4xx (%s)", url, code, body)
+		}
+		if !strings.Contains(body, `"error"`) {
+			t.Errorf("GET %s: no error field in %s", url, body)
+		}
+	}
+	if code, _ := get(t, s, "/nosuch"); code != 404 {
+		t.Errorf("unknown path: status %d, want 404", code)
+	}
+}
+
+func TestServeHealthzAndPprof(t *testing.T) {
+	s, _ := newTestServer(t)
+	code, body := get(t, s, "/healthz")
+	if code != 200 || !strings.Contains(body, `"ok"`) {
+		t.Errorf("healthz: %d %s", code, body)
+	}
+	code, body = get(t, s, "/debug/pprof/cmdline")
+	if code != 200 {
+		t.Errorf("pprof cmdline: status %d %s", code, body)
+	}
+}
+
+// metricValue extracts a sample value from Prometheus text exposition.
+func metricValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\S+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		return 0
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("metric %s: bad value %q", name, m[1])
+	}
+	return v
+}

@@ -43,7 +43,7 @@ func AblationTIABackend(cfg Config) ([]Table, error) {
 				return nil, err
 			}
 			queries := env.data.Queries(cfg.queries(), defaultK, defaultAlpha, cfg.Seed)
-			m, err := measure(tr, queries)
+			m, err := cfg.measure("TAR-tree/"+b.name, tr, queries)
 			if err != nil {
 				return nil, err
 			}
@@ -139,7 +139,7 @@ func AblationReinsert(cfg Config) ([]Table, error) {
 				return nil, err
 			}
 			leaves, internals := tr.NodeCount()
-			m, err := measure(tr, queries)
+			m, err := cfg.measure("TAR-tree/"+v.name, tr, queries)
 			if err != nil {
 				return nil, err
 			}
@@ -201,7 +201,7 @@ func AblationDistScale(cfg Config) ([]Table, error) {
 		}
 		for _, k := range []int{1, 10, 100} {
 			queries := env.data.Queries(cfg.queries(), k, defaultAlpha, cfg.Seed)
-			m, err := measure(tr, queries)
+			m, err := cfg.measure("TAR-tree", tr, queries)
 			if err != nil {
 				return nil, err
 			}

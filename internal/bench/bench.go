@@ -23,6 +23,7 @@ import (
 
 	"tartree/internal/core"
 	"tartree/internal/lbsn"
+	"tartree/internal/obs"
 	"tartree/internal/seqscan"
 	"tartree/internal/tia"
 )
@@ -38,6 +39,10 @@ type Config struct {
 	Queries int
 	// Seed for query generation.
 	Seed int64
+	// Metrics, when set, collects per-method query-latency histograms
+	// (bench_query_latency_seconds{method="..."}) across the whole run,
+	// which cmd/tarbench -json exports next to the tables.
+	Metrics *obs.Registry
 }
 
 func (c Config) datasets() []string {
@@ -179,24 +184,40 @@ func (e *dataEnv) buildAll(nodeSize int, epochLength int64, cutoff int64) (map[s
 }
 
 // measure runs the queries and returns the mean CPU time and mean node
-// accesses (R-tree node accesses; zero for the baseline, which scans).
+// accesses (R-tree node accesses; zero for the baseline, which scans),
+// plus the full latency distribution of the batch.
 type measurement struct {
 	CPUMicros    float64
 	NodeAccesses float64
 	LeafAccesses float64
 	TIAAccesses  float64
 	MeanFk       float64
+	Latency      obs.HistogramSnapshot
 }
 
-func measure(q queryable, queries []core.Query) (measurement, error) {
+// measure runs the query batch against q. The method label tags the latency
+// series: the local histogram feeds measurement.Latency (p50/p95/p99 of this
+// batch), and when cfg.Metrics is set the same observations accumulate in
+// the run-wide bench_query_latency_seconds{method="..."} histogram.
+func (c Config) measure(method string, q queryable, queries []core.Query) (measurement, error) {
 	var m measurement
+	local := obs.NewHistogram(nil)
+	var shared *obs.Histogram
+	if c.Metrics != nil {
+		shared = c.Metrics.Histogram(fmt.Sprintf(`bench_query_latency_seconds{method=%q}`, method), nil)
+	}
 	for _, qu := range queries {
 		start := time.Now()
 		res, stats, err := q.Query(qu)
 		if err != nil {
 			return m, err
 		}
-		m.CPUMicros += float64(time.Since(start).Microseconds())
+		elapsed := time.Since(start)
+		local.Observe(elapsed.Seconds())
+		if shared != nil {
+			shared.Observe(elapsed.Seconds())
+		}
+		m.CPUMicros += float64(elapsed.Microseconds())
 		m.NodeAccesses += float64(stats.RTreeAccesses())
 		m.LeafAccesses += float64(stats.LeafAccesses)
 		m.TIAAccesses += float64(stats.TIAAccesses)
@@ -210,6 +231,7 @@ func measure(q queryable, queries []core.Query) (measurement, error) {
 	m.LeafAccesses /= n
 	m.TIAAccesses /= n
 	m.MeanFk /= n
+	m.Latency = local.Snapshot()
 	return m, nil
 }
 

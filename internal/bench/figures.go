@@ -199,7 +199,7 @@ func costValidation(cfg Config, title string, ks []int, alphas []float64) ([]Tab
 		for _, k := range ks {
 			for _, a := range alphas {
 				queries := env.data.Queries(cfg.queries(), k, a, cfg.Seed+int64(k*1000)+int64(a*100))
-				m, err := measure(tr, queries)
+				m, err := cfg.measure("TAR-tree", tr, queries)
 				if err != nil {
 					return nil, err
 				}
@@ -252,7 +252,7 @@ func methodSweep(cfg Config, name, title, axis string,
 		}
 		queries := queriesFor(env, pt)
 		for _, mn := range methodNames {
-			m, err := measure(methods[mn], queries)
+			m, err := cfg.measure(mn, methods[mn], queries)
 			if err != nil {
 				return Table{}, err
 			}
@@ -332,7 +332,7 @@ func paramSweep(cfg Config, title, axis string, points []string, parse func(stri
 			k, a := parse(pt)
 			queries := env.data.Queries(cfg.queries(), k, a, cfg.Seed)
 			for _, mn := range methodNames {
-				m, err := measure(methods[mn], queries)
+				m, err := cfg.measure(mn, methods[mn], queries)
 				if err != nil {
 					return nil, err
 				}

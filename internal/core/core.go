@@ -24,6 +24,7 @@ import (
 	"math"
 
 	"tartree/internal/geo"
+	"tartree/internal/obs"
 	"tartree/internal/rstar"
 	"tartree/internal/tia"
 )
@@ -116,6 +117,14 @@ type Options struct {
 	// DisableReinsert turns off the R*-tree forced reinsertion; the
 	// ablation experiments use it to isolate that heuristic's effect.
 	DisableReinsert bool
+	// Metrics, when set, instruments the tree: queries publish latency
+	// histograms and work counters into the registry, and the TIA factory's
+	// page buffers publish hit/miss/eviction rates through an attached
+	// obs.PageSink. Nil (the default) disables instrumentation entirely.
+	// Trees may share one registry, but each should own its TIA factory —
+	// attaching one factory to two instrumented trees double-counts its
+	// page traffic.
+	Metrics *obs.Registry
 }
 
 func (o *Options) fill() error {
@@ -226,6 +235,8 @@ type Tree struct {
 
 	clock   int64                            // latest time observed
 	pending map[tia.Interval]map[int64]int64 // epoch → poi → count
+
+	instr *instruments // nil unless Options.Metrics is set
 }
 
 // NewTree creates an empty TAR-tree.
@@ -247,6 +258,12 @@ func NewTree(opts Options) (*Tree, error) {
 		clock:   opts.Epochs.Origin(),
 	}
 	t.maxDistScaled = opts.World.Diagonal(2) * t.scale
+	if opts.Metrics != nil {
+		t.instr = newInstruments(opts.Metrics)
+		if at, ok := opts.TIA.(sinkAttacher); ok {
+			at.AttachSink(obs.NewPageSink(opts.Metrics, "tartree_pagestore"))
+		}
+	}
 	disk, err := opts.TIA.New()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tartree/internal/obs"
+	"tartree/internal/pagestore"
+	"tartree/internal/tia"
+)
+
+// instruments is the tree's bridge into an obs.Registry. All metrics are
+// shared by trees that share a registry (the registry getters are
+// idempotent), so a process serving several groupings still exports one
+// coherent set of series.
+type instruments struct {
+	queries     *obs.Counter
+	queryErrors *obs.Counter
+	results     *obs.Counter
+	latency     *obs.Histogram
+	internals   *obs.Counter
+	leaves      *obs.Counter
+	tiaLogical  *obs.Counter
+	tiaPhysical *obs.Counter
+	scored      *obs.Counter
+}
+
+func newInstruments(r *obs.Registry) *instruments {
+	registerTIAProbes(r)
+	return &instruments{
+		queries:     r.Counter("tartree_queries_total"),
+		queryErrors: r.Counter("tartree_query_errors_total"),
+		results:     r.Counter("tartree_results_total"),
+		latency:     r.Histogram("tartree_query_latency_seconds", nil),
+		internals:   r.Counter(`tartree_rtree_node_accesses_total{level="internal"}`),
+		leaves:      r.Counter(`tartree_rtree_node_accesses_total{level="leaf"}`),
+		tiaLogical:  r.Counter(`tartree_tia_page_reads_total{kind="logical"}`),
+		tiaPhysical: r.Counter(`tartree_tia_page_reads_total{kind="physical"}`),
+		scored:      r.Counter("tartree_entries_scored_total"),
+	}
+}
+
+// record folds one finished query into the metrics: the paper's work
+// counters (QueryStats) plus the wall-clock latency the paper never
+// measured.
+func (in *instruments) record(stats QueryStats, nresults int, d time.Duration, err error) {
+	if in == nil {
+		return
+	}
+	in.queries.Inc()
+	in.latency.Observe(d.Seconds())
+	if err != nil {
+		in.queryErrors.Inc()
+		return
+	}
+	in.results.Add(int64(nresults))
+	in.internals.Add(int64(stats.InternalAccesses))
+	in.leaves.Add(int64(stats.LeafAccesses))
+	in.tiaLogical.Add(stats.TIAAccesses)
+	in.tiaPhysical.Add(stats.TIAPhysical)
+	in.scored.Add(int64(stats.Scored))
+}
+
+// registerTIAProbes exports the process-wide per-backend probe totals.
+func registerTIAProbes(r *obs.Registry) {
+	for _, k := range tia.BackendKinds() {
+		k := k
+		r.CounterFunc(fmt.Sprintf(`tartree_tia_probes_total{backend=%q}`, k.String()),
+			func() int64 { return tia.ProbeCount(k) })
+	}
+}
+
+// sinkAttacher is satisfied by the disk-backed tia factories; the memory
+// factory implements it as a no-op.
+type sinkAttacher interface{ AttachSink(pagestore.Sink) }

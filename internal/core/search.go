@@ -2,8 +2,10 @@ package core
 
 import (
 	"container/heap"
+	"time"
 
 	"tartree/internal/geo"
+	"tartree/internal/obs"
 	"tartree/internal/rstar"
 	"tartree/internal/tia"
 )
@@ -53,11 +55,16 @@ type Scorer struct {
 	gmax  float64    // aggregate normalizer (per-query constant)
 	stats *QueryStats
 	cache AggCache
+	trace *obs.Trace // nil when tracing is off
 }
 
 // NewScorer prepares a scorer for q, reading the per-query aggregate
 // normalizer from the tree's global per-epoch-maximum TIA.
 func (t *Tree) NewScorer(q Query, stats *QueryStats, cache AggCache) (*Scorer, error) {
+	return t.newScorer(q, stats, cache, nil)
+}
+
+func (t *Tree) newScorer(q Query, stats *QueryStats, cache AggCache, tr *obs.Trace) (*Scorer, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -70,6 +77,7 @@ func (t *Tree) NewScorer(q Query, stats *QueryStats, cache AggCache) (*Scorer, e
 		qv:    t.scaled(q.X, q.Y),
 		stats: stats,
 		cache: cache,
+		trace: tr,
 	}
 	gmax, err := sc.maxAggregate()
 	if err != nil {
@@ -89,6 +97,9 @@ func (sc *Scorer) maxAggregate() (int64, error) {
 	key := aggKey{idx: g.disk, iv: sc.q.Iq}
 	if v, ok := sc.cache[key]; ok {
 		return v, nil
+	}
+	if sc.trace != nil {
+		defer sc.trace.StartSpan("gmax")()
 	}
 	before := sc.t.opts.TIA.Stats()
 	a, err := g.disk.AggregateFunc(sc.q.Iq, sc.t.opts.Semantics, sc.t.opts.AggFunc)
@@ -119,10 +130,17 @@ func (sc *Scorer) aggregate(e rstar.Entry) (int64, error) {
 	if v, ok := sc.cache[key]; ok {
 		return v, nil
 	}
+	var begin time.Time
+	if sc.trace != nil {
+		begin = time.Now()
+	}
 	before := sc.t.opts.TIA.Stats()
 	a, err := d.disk.AggregateFunc(sc.q.Iq, sc.t.opts.Semantics, sc.t.opts.AggFunc)
 	if err != nil {
 		return 0, err
+	}
+	if sc.trace != nil {
+		sc.trace.Observe("tia_probe", time.Since(begin))
 	}
 	if sc.stats != nil {
 		after := sc.t.opts.TIA.Stats()
@@ -208,6 +226,7 @@ type Search struct {
 	sc            *Scorer
 	queue         elemHeap
 	stats         *QueryStats
+	trace         *obs.Trace
 	CountAccesses bool
 }
 
@@ -223,6 +242,10 @@ type SearchOptions struct {
 	// the root read; batch processors that share node accesses across
 	// queries account for them externally.
 	SkipAccessCounting bool
+	// Trace, when non-nil, records timed spans of the search: the gmax
+	// normalizer read, queue pops, node expansions and TIA probes. A nil
+	// trace costs one pointer test per instrumented site.
+	Trace *obs.Trace
 }
 
 // NewSearch starts a best-first search for q. Reading the root node counts
@@ -237,13 +260,16 @@ func (t *Tree) NewSearchWith(q Query, o SearchOptions) (*Search, error) {
 	var err error
 	if o.Gmax != nil {
 		sc, err = t.newScorerWithGmax(q, *o.Gmax, o.Stats, o.Cache)
+		if sc != nil {
+			sc.trace = o.Trace
+		}
 	} else {
-		sc, err = t.NewScorer(q, o.Stats, o.Cache)
+		sc, err = t.newScorer(q, o.Stats, o.Cache, o.Trace)
 	}
 	if err != nil {
 		return nil, err
 	}
-	s := &Search{sc: sc, stats: o.Stats, CountAccesses: !o.SkipAccessCounting}
+	s := &Search{sc: sc, stats: o.Stats, trace: o.Trace, CountAccesses: !o.SkipAccessCounting}
 	root := t.rt.Root()
 	if o.Stats != nil && !o.SkipAccessCounting {
 		if root.Level == 0 {
@@ -318,15 +344,23 @@ func (s *Search) Pop() *Elem {
 	if len(s.queue) == 0 {
 		return nil
 	}
+	if s.trace != nil {
+		defer s.trace.StartSpan("queue_pop")()
+	}
 	return heap.Pop(&s.queue).(*Elem)
 }
 
 // Expand pushes the children of an internal element, counting one node
-// access (when CountAccesses is set).
+// access (when CountAccesses is set). The traced "expand" span covers the
+// R-tree descent including the scoring of the child entries, so the nested
+// "tia_probe" time is a subset of it.
 func (s *Search) Expand(el *Elem) error {
 	n := el.Entry.Child
 	if n == nil {
 		return nil
+	}
+	if s.trace != nil {
+		defer s.trace.StartSpan("expand")()
 	}
 	if s.CountAccesses && s.stats != nil {
 		if n.Level == 0 {
@@ -367,10 +401,31 @@ func (s *Search) Result(el *Elem) Result {
 }
 
 // Query answers a kNNTA query with best-first search and returns the top-k
-// results in ascending score order together with the work counters.
+// results in ascending score order together with the work counters. On an
+// instrumented tree (Options.Metrics) the query also feeds the latency
+// histogram and work counters of the registry.
 func (t *Tree) Query(q Query) ([]Result, QueryStats, error) {
+	return t.QueryTraced(q, nil)
+}
+
+// QueryTraced is Query with an optional per-query trace: when tr is
+// non-nil, the search records timed spans (gmax read, queue pops, node
+// expansions, TIA probes) into it. A nil trace is free.
+func (t *Tree) QueryTraced(q Query, tr *obs.Trace) ([]Result, QueryStats, error) {
+	var begin time.Time
+	if t.instr != nil {
+		begin = time.Now()
+	}
+	res, stats, err := t.runQuery(q, tr)
+	if t.instr != nil {
+		t.instr.record(stats, len(res), time.Since(begin), err)
+	}
+	return res, stats, err
+}
+
+func (t *Tree) runQuery(q Query, tr *obs.Trace) ([]Result, QueryStats, error) {
 	var stats QueryStats
-	s, err := t.NewSearch(q, &stats, nil)
+	s, err := t.NewSearchWith(q, SearchOptions{Stats: &stats, Trace: tr})
 	if err != nil {
 		return nil, stats, err
 	}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"testing"
+
+	"tartree/internal/geo"
+	"tartree/internal/obs"
+	"tartree/internal/rstar"
+	"tartree/internal/tia"
+)
+
+// buildAccountingTree indexes a deterministic grid of POIs with small nodes
+// so the tree has several levels under every grouping.
+func buildAccountingTree(t *testing.T, g Grouping) *Tree {
+	t.Helper()
+	return buildAccountingTreeOpts(t, Options{
+		World:       geo.Rect{Min: geo.Vector{0, 0}, Max: geo.Vector{100, 100}},
+		NodeSize:    256,
+		Grouping:    g,
+		EpochStart:  0,
+		EpochLength: 100,
+	})
+}
+
+func buildAccountingTreeOpts(t *testing.T, opts Options) *Tree {
+	t.Helper()
+	tr, err := NewTree(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := int64(0)
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			id++
+			// Deterministic, poi-dependent histories spread over 6 epochs.
+			var hist []tia.Record
+			for e := int64(0); e < 6; e++ {
+				agg := (id+e)%5 + 1
+				hist = append(hist, tia.Record{Ts: e * 100, Te: (e + 1) * 100, Agg: agg})
+			}
+			p := POI{ID: id, X: float64(i*5 + 2), Y: float64(j*5 + 2)}
+			if err := tr.InsertPOI(p, hist); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return tr
+}
+
+// walkCounts independently tallies the tree's shape by direct traversal:
+// the numbers an exhaustive best-first search must reproduce in its
+// QueryStats.
+func walkCounts(root *rstar.Node) (internalNodes, leafNodes, entries int) {
+	var walk func(n *rstar.Node)
+	walk = func(n *rstar.Node) {
+		if n.Level == 0 {
+			leafNodes++
+		} else {
+			internalNodes++
+		}
+		entries += len(n.Entries)
+		for _, e := range n.Entries {
+			if e.Child != nil {
+				walk(e.Child)
+			}
+		}
+	}
+	walk(root)
+	return
+}
+
+// TestQueryStatsAccounting pins the meaning of the work counters for all
+// three groupings: an exhaustive query (k = number of POIs) must expand
+// every node exactly once, so InternalAccesses/LeafAccesses equal an
+// independent traversal count, Scored equals the total number of entries,
+// and the access identities hold.
+func TestQueryStatsAccounting(t *testing.T) {
+	for _, g := range []Grouping{TAR3D, IndSpa, IndAgg} {
+		t.Run(g.String(), func(t *testing.T) {
+			tr := buildAccountingTree(t, g)
+			internals, leaves, entries := walkCounts(tr.Root())
+			if internals < 2 || leaves < 4 {
+				t.Fatalf("tree too shallow for the test: %d internal, %d leaf nodes", internals, leaves)
+			}
+			// Cross-check the independent walk against the tree's own count.
+			nl, ni := tr.NodeCount()
+			if nl != leaves || ni != internals {
+				t.Fatalf("walk found %d/%d nodes, NodeCount says %d/%d", leaves, internals, nl, ni)
+			}
+
+			q := Query{X: 50, Y: 50, Iq: tia.Interval{Start: 0, End: 600}, K: tr.Len(), Alpha0: 0.5}
+			res, stats, err := tr.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res) != tr.Len() {
+				t.Fatalf("exhaustive query returned %d of %d POIs", len(res), tr.Len())
+			}
+			if stats.InternalAccesses != internals {
+				t.Errorf("InternalAccesses = %d, want %d", stats.InternalAccesses, internals)
+			}
+			if stats.LeafAccesses != leaves {
+				t.Errorf("LeafAccesses = %d, want %d", stats.LeafAccesses, leaves)
+			}
+			if got := stats.RTreeAccesses(); got != internals+leaves {
+				t.Errorf("RTreeAccesses = %d, want %d", got, internals+leaves)
+			}
+			if stats.Scored != entries {
+				t.Errorf("Scored = %d, want %d (one per entry)", stats.Scored, entries)
+			}
+			if stats.TIAAccesses <= 0 {
+				t.Errorf("TIAAccesses = %d, want > 0 with the disk backend", stats.TIAAccesses)
+			}
+			if stats.TIAPhysical < 0 || stats.TIAPhysical > stats.TIAAccesses {
+				t.Errorf("TIAPhysical = %d outside [0, %d]", stats.TIAPhysical, stats.TIAAccesses)
+			}
+			if got := stats.NodeAccesses(); got != int64(internals+leaves)+stats.TIAAccesses {
+				t.Errorf("NodeAccesses = %d, want RTree+TIA = %d", got, int64(internals+leaves)+stats.TIAAccesses)
+			}
+
+			// A k=1 query can never do more work than the exhaustive one.
+			_, one, err := tr.Query(Query{X: 50, Y: 50, Iq: q.Iq, K: 1, Alpha0: 0.5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if one.RTreeAccesses() > stats.RTreeAccesses() {
+				t.Errorf("k=1 accesses %d exceed exhaustive %d", one.RTreeAccesses(), stats.RTreeAccesses())
+			}
+		})
+	}
+}
+
+// TestInstrumentedTreeMetrics checks the Options.Metrics wiring end to end:
+// after queries on an instrumented tree, the registry holds a nonzero
+// latency histogram, matching work counters, pagestore traffic from the
+// attached PageSink, and per-backend probe totals.
+func TestInstrumentedTreeMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := buildAccountingTreeOpts(t, Options{
+		World:       geo.Rect{Min: geo.Vector{0, 0}, Max: geo.Vector{100, 100}},
+		NodeSize:    256,
+		EpochStart:  0,
+		EpochLength: 100,
+		Metrics:     reg,
+	})
+	q := Query{X: 50, Y: 50, Iq: tia.Interval{Start: 0, End: 600}, K: 5, Alpha0: 0.5}
+	var want QueryStats
+	for i := 0; i < 3; i++ {
+		_, stats, err := tr.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.InternalAccesses += stats.InternalAccesses
+		want.LeafAccesses += stats.LeafAccesses
+		want.TIAAccesses += stats.TIAAccesses
+		want.Scored += stats.Scored
+	}
+	if got := reg.Counter("tartree_queries_total").Value(); got != 3 {
+		t.Errorf("queries_total = %d, want 3", got)
+	}
+	h := reg.Histogram("tartree_query_latency_seconds", nil)
+	if h.Count() != 3 || h.Sum() <= 0 {
+		t.Errorf("latency histogram count=%d sum=%g", h.Count(), h.Sum())
+	}
+	if got := reg.Counter(`tartree_rtree_node_accesses_total{level="internal"}`).Value(); got != int64(want.InternalAccesses) {
+		t.Errorf("internal accesses metric = %d, want %d", got, want.InternalAccesses)
+	}
+	if got := reg.Counter(`tartree_tia_page_reads_total{kind="logical"}`).Value(); got != want.TIAAccesses {
+		t.Errorf("tia logical reads metric = %d, want %d", got, want.TIAAccesses)
+	}
+	snap := reg.Snapshot()
+	if v, ok := snap[`tartree_tia_probes_total{backend="btree"}`].(int64); !ok || v <= 0 {
+		t.Errorf("btree probe counter = %v", snap[`tartree_tia_probes_total{backend="btree"}`])
+	}
+	// The PageSink attached to the factory must have seen buffer traffic.
+	var pageTraffic int64
+	for _, key := range []string{
+		`tartree_pagestore_reads_total{result="hit"}`,
+		`tartree_pagestore_reads_total{result="miss"}`,
+	} {
+		if v, ok := snap[key].(int64); ok {
+			pageTraffic += v
+		}
+	}
+	if pageTraffic == 0 {
+		t.Error("pagestore hit/miss counters are all zero")
+	}
+}
+
+// TestQueryTracedRecordsSpans checks that a traced query aggregates the
+// expected span names and that a nil trace changes nothing.
+func TestQueryTracedRecordsSpans(t *testing.T) {
+	tr := buildAccountingTree(t, TAR3D)
+	q := Query{X: 20, Y: 20, Iq: tia.Interval{Start: 0, End: 600}, K: 3, Alpha0: 0.5}
+	trace := obs.NewTrace()
+	resTraced, statsTraced, err := tr.QueryTraced(q, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := make(map[string]obs.Span)
+	for _, s := range trace.Spans() {
+		spans[s.Name] = s
+	}
+	for _, name := range []string{"gmax", "queue_pop", "expand", "tia_probe"} {
+		if spans[name].Count == 0 {
+			t.Errorf("span %q not recorded (have %v)", name, trace.Spans())
+		}
+	}
+	if c := spans["tia_probe"].Count; c != int64(statsTraced.Scored) {
+		t.Errorf("tia_probe count = %d, want Scored = %d", c, statsTraced.Scored)
+	}
+
+	resBare, statsBare, err := tr.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resBare) != len(resTraced) || statsBare != statsTraced {
+		t.Errorf("tracing changed the query: %+v vs %+v", statsBare, statsTraced)
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"tartree/internal/core"
 	"tartree/internal/geo"
+	"tartree/internal/obs"
 	"tartree/internal/powerlaw"
 	"tartree/internal/tia"
 )
@@ -313,6 +314,8 @@ type BuildOptions struct {
 	// Cutoff indexes only check-ins before this time (0: all), and POIs
 	// whose totals up to the cutoff reach the effectiveness threshold.
 	Cutoff int64
+	// Metrics instruments the built tree (see core.Options.Metrics).
+	Metrics *obs.Registry
 }
 
 // Build indexes the data set's effective POIs into a TAR-tree.
@@ -328,6 +331,7 @@ func (d *Dataset) Build(o BuildOptions) (*core.Tree, error) {
 		Semantics:   o.Semantics,
 		EpochStart:  d.Spec.Start,
 		EpochLength: o.EpochLength,
+		Metrics:     o.Metrics,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c_total") != c {
+		t.Fatal("Counter not idempotent")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic registering gauge over counter")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 3, 3, 5, 7, 9, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 10 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-133.5) > 1e-9 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 2 || p50 > 4 {
+		t.Errorf("p50 = %g, want within (2, 4]", p50)
+	}
+	// +Inf observations clamp to the largest finite bound.
+	if p99 := h.Quantile(0.99); p99 != 8 {
+		t.Errorf("p99 = %g, want 8", p99)
+	}
+	if q := (&Histogram{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %g, want 0", q)
+	}
+}
+
+func TestWriteToPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`probes_total{backend="btree"}`).Add(3)
+	r.Counter(`probes_total{backend="mem"}`).Add(7)
+	r.Gauge("temp").Set(1.25)
+	h := r.Histogram("lat_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.CounterFunc("cb_total", func() int64 { return 42 })
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE probes_total counter",
+		`probes_total{backend="btree"} 3`,
+		`probes_total{backend="mem"} 7`,
+		"# TYPE temp gauge",
+		"temp 1.25",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 5.55",
+		"lat_seconds_count 3",
+		"cb_total 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteTo output missing %q:\n%s", want, out)
+		}
+	}
+	// The TYPE line of a labeled family must be emitted once.
+	if n := strings.Count(out, "# TYPE probes_total counter"); n != 1 {
+		t.Errorf("TYPE line emitted %d times", n)
+	}
+}
+
+func TestSnapshotMarshalsToJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(2)
+	r.Gauge("b").Set(0.5)
+	r.Histogram("h", []float64{1}).Observe(0.25)
+	r.GaugeFunc("fn", func() float64 { return 9 })
+	blob, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["a_total"].(float64) != 2 || back["fn"].(float64) != 9 {
+		t.Errorf("snapshot round-trip = %v", back)
+	}
+	if _, ok := back["h"].(map[string]any); !ok {
+		t.Errorf("histogram snapshot missing: %v", back)
+	}
+}
+
+// TestConcurrentWriters hammers one registry from many goroutines — the
+// acceptance check for `go test -race ./internal/obs/...`.
+func TestConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared_total").Inc()
+				r.Gauge("shared_gauge").Add(1)
+				r.Histogram("shared_hist", nil).Observe(float64(i%7) * 1e-4)
+				if i%100 == 0 {
+					var b strings.Builder
+					if _, err := r.WriteTo(&b); err != nil {
+						t.Error(err)
+						return
+					}
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("shared_gauge").Value(); got != workers*perWorker {
+		t.Errorf("gauge = %g, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("shared_hist", nil).Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}

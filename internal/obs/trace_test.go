@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsNoop(t *testing.T) {
+	var tr *Trace
+	if tr.Enabled() {
+		t.Fatal("nil trace reports enabled")
+	}
+	tr.Observe("x", time.Second) // must not panic
+	tr.StartSpan("y")()
+	if tr.Spans() != nil {
+		t.Fatal("nil trace has spans")
+	}
+	if tr.Elapsed() != 0 {
+		t.Fatal("nil trace has elapsed time")
+	}
+	if !strings.Contains(tr.String(), "disabled") {
+		t.Fatalf("nil trace String = %q", tr.String())
+	}
+}
+
+func TestTraceAggregatesSpans(t *testing.T) {
+	tr := NewTrace()
+	tr.Observe("probe", 2*time.Millisecond)
+	tr.Observe("probe", 4*time.Millisecond)
+	tr.Observe("expand", time.Millisecond)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "probe" || spans[0].Count != 2 ||
+		spans[0].Total != 6*time.Millisecond || spans[0].Max != 4*time.Millisecond {
+		t.Errorf("probe span = %+v", spans[0])
+	}
+	if spans[1].Name != "expand" || spans[1].Count != 1 {
+		t.Errorf("expand span = %+v", spans[1])
+	}
+	if !strings.Contains(tr.String(), "probe") {
+		t.Errorf("String() missing span: %q", tr.String())
+	}
+}
+
+func TestTraceStartSpanMeasures(t *testing.T) {
+	tr := NewTrace()
+	end := tr.StartSpan("s")
+	time.Sleep(2 * time.Millisecond)
+	end()
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Total <= 0 {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Observe("hot", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := tr.Spans(); len(s) != 1 || s[0].Count != 4000 {
+		t.Fatalf("spans = %+v", s)
+	}
+}

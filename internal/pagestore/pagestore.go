@@ -232,7 +232,16 @@ type Stats struct {
 	PhysicalReads  int64
 	LogicalWrites  int64
 	PhysicalWrites int64
+	// Evictions counts frames pushed out of the buffer to make room
+	// (dirty evictions additionally count one physical write).
+	Evictions int64
 }
+
+// Hits returns the reads served from the buffer without touching the file.
+func (s Stats) Hits() int64 { return s.LogicalReads - s.PhysicalReads }
+
+// Misses returns the reads that had to reach the file.
+func (s Stats) Misses() int64 { return s.PhysicalReads }
 
 // Accesses returns the number of physical page reads and writes combined.
 func (s Stats) Accesses() int64 { return s.PhysicalReads + s.PhysicalWrites }
@@ -244,6 +253,7 @@ func (s Stats) Add(t Stats) Stats {
 		PhysicalReads:  s.PhysicalReads + t.PhysicalReads,
 		LogicalWrites:  s.LogicalWrites + t.LogicalWrites,
 		PhysicalWrites: s.PhysicalWrites + t.PhysicalWrites,
+		Evictions:      s.Evictions + t.Evictions,
 	}
 }
 
@@ -254,18 +264,45 @@ func (s Stats) Sub(t Stats) Stats {
 		PhysicalReads:  s.PhysicalReads - t.PhysicalReads,
 		LogicalWrites:  s.LogicalWrites - t.LogicalWrites,
 		PhysicalWrites: s.PhysicalWrites - t.PhysicalWrites,
+		Evictions:      s.Evictions - t.Evictions,
 	}
+}
+
+// Sink receives per-event page traffic from one or more Buffers. The
+// built-in CounterSink accumulates events into Stats; obs.PageSink (which
+// satisfies this interface structurally, keeping internal/obs free of
+// dependencies) publishes them as registry metrics.
+//
+// Implementations must be safe for concurrent use: buffers call sinks
+// while holding their own locks, possibly from many goroutines.
+type Sink interface {
+	// PageRead reports one logical read; hit tells whether it was served
+	// from the buffer (miss = one physical read reached the File).
+	PageRead(hit bool)
+	// PageWrite reports a write: physical writes reached the File, logical
+	// writes were absorbed by the buffer (write-back).
+	PageWrite(physical bool)
+	// PageEvicted reports a frame eviction; dirty evictions additionally
+	// produced a PageWrite(true) for the write-back.
+	PageEvicted(dirty bool)
 }
 
 // CounterSink aggregates the traffic of many Buffers into one set of
 // atomic counters, so reading combined statistics is O(1) regardless of
 // how many buffers exist — the TAR-tree creates one buffer per TIA, which
 // can be tens of thousands.
+//
+// A CounterSink is cumulative and deliberately has no reset: it may be
+// shared by many buffers, and zeroing it would silently skew every reader
+// that diffs snapshots (tia factories implement ResetStats by remembering a
+// base snapshot and subtracting). Buffer.ResetStats likewise leaves sinks
+// untouched; see that method for the exact contract.
 type CounterSink struct {
 	logicalReads   atomic.Int64
 	physicalReads  atomic.Int64
 	logicalWrites  atomic.Int64
 	physicalWrites atomic.Int64
+	evictions      atomic.Int64
 }
 
 // Snapshot returns the current totals.
@@ -275,7 +312,30 @@ func (s *CounterSink) Snapshot() Stats {
 		PhysicalReads:  s.physicalReads.Load(),
 		LogicalWrites:  s.logicalWrites.Load(),
 		PhysicalWrites: s.physicalWrites.Load(),
+		Evictions:      s.evictions.Load(),
 	}
+}
+
+// PageRead implements Sink.
+func (s *CounterSink) PageRead(hit bool) {
+	s.logicalReads.Add(1)
+	if !hit {
+		s.physicalReads.Add(1)
+	}
+}
+
+// PageWrite implements Sink.
+func (s *CounterSink) PageWrite(physical bool) {
+	if physical {
+		s.physicalWrites.Add(1)
+	} else {
+		s.logicalWrites.Add(1)
+	}
+}
+
+// PageEvicted implements Sink.
+func (s *CounterSink) PageEvicted(bool) {
+	s.evictions.Add(1)
 }
 
 type frame struct {
@@ -299,7 +359,7 @@ type Buffer struct {
 	head   *frame
 	tail   *frame
 	stats  Stats
-	sink   *CounterSink
+	sinks  []Sink
 	// scratch holds the pass-through page when slots == 0.
 	scratch []byte
 }
@@ -312,6 +372,15 @@ func NewBuffer(f File, slots int) *Buffer {
 // NewBufferWithSink creates a buffer pool that additionally reports its
 // traffic to sink (which may be shared by many buffers).
 func NewBufferWithSink(f File, slots int, sink *CounterSink) *Buffer {
+	if sink == nil {
+		return NewBufferWithSinks(f, slots)
+	}
+	return NewBufferWithSinks(f, slots, sink)
+}
+
+// NewBufferWithSinks creates a buffer pool publishing every page-traffic
+// event to each of the given sinks.
+func NewBufferWithSinks(f File, slots int, sinks ...Sink) *Buffer {
 	if slots < 0 {
 		panic("pagestore: negative slot count")
 	}
@@ -319,9 +388,21 @@ func NewBufferWithSink(f File, slots int, sink *CounterSink) *Buffer {
 		file:    f,
 		slots:   slots,
 		frames:  make(map[PageID]*frame, slots),
-		sink:    sink,
+		sinks:   sinks,
 		scratch: make([]byte, f.PageSize()),
 	}
+}
+
+// AddSink attaches another sink; subsequent traffic is reported to it. The
+// TIA factories use it to let a metrics registry observe buffers created
+// before instrumentation was enabled.
+func (b *Buffer) AddSink(s Sink) {
+	if s == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sinks = append(b.sinks, s)
 }
 
 // File returns the underlying page file.
@@ -330,32 +411,32 @@ func (b *Buffer) File() File { return b.file }
 // PageSize returns the page size of the underlying file.
 func (b *Buffer) PageSize() int { return b.file.PageSize() }
 
-// count helpers keep the buffer's own stats and the shared sink in step.
-func (b *Buffer) countLogicalRead() {
+// count helpers keep the buffer's own stats and the attached sinks in step.
+func (b *Buffer) countRead(hit bool) {
 	b.stats.LogicalReads++
-	if b.sink != nil {
-		b.sink.logicalReads.Add(1)
+	if !hit {
+		b.stats.PhysicalReads++
+	}
+	for _, s := range b.sinks {
+		s.PageRead(hit)
 	}
 }
 
-func (b *Buffer) countPhysicalRead() {
-	b.stats.PhysicalReads++
-	if b.sink != nil {
-		b.sink.physicalReads.Add(1)
+func (b *Buffer) countWrite(physical bool) {
+	if physical {
+		b.stats.PhysicalWrites++
+	} else {
+		b.stats.LogicalWrites++
+	}
+	for _, s := range b.sinks {
+		s.PageWrite(physical)
 	}
 }
 
-func (b *Buffer) countLogicalWrite() {
-	b.stats.LogicalWrites++
-	if b.sink != nil {
-		b.sink.logicalWrites.Add(1)
-	}
-}
-
-func (b *Buffer) countPhysicalWrite() {
-	b.stats.PhysicalWrites++
-	if b.sink != nil {
-		b.sink.physicalWrites.Add(1)
+func (b *Buffer) countEviction(dirty bool) {
+	b.stats.Evictions++
+	for _, s := range b.sinks {
+		s.PageEvicted(dirty)
 	}
 }
 
@@ -402,10 +483,11 @@ func (b *Buffer) evict() error {
 		if err := b.file.WritePage(fr.id, fr.data); err != nil {
 			return err
 		}
-		b.countPhysicalWrite()
+		b.countWrite(true)
 	}
 	b.unlink(fr)
 	delete(b.frames, fr.id)
+	b.countEviction(fr.dirty)
 	return nil
 }
 
@@ -424,7 +506,6 @@ func (b *Buffer) load(id PageID, readThrough bool) (*frame, error) {
 		if err := b.file.ReadPage(id, fr.data); err != nil {
 			return nil, err
 		}
-		b.countPhysicalRead()
 	}
 	if b.slots > 0 {
 		b.frames[id] = fr
@@ -438,18 +519,19 @@ func (b *Buffer) load(id PageID, readThrough bool) (*frame, error) {
 func (b *Buffer) Get(id PageID) ([]byte, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.countLogicalRead()
 	if b.slots == 0 {
 		if err := b.file.ReadPage(id, b.scratch); err != nil {
 			return nil, err
 		}
-		b.countPhysicalRead()
+		b.countRead(false)
 		return b.scratch, nil
 	}
+	_, hit := b.frames[id]
 	fr, err := b.load(id, true)
 	if err != nil {
 		return nil, err
 	}
+	b.countRead(hit)
 	return fr.data, nil
 }
 
@@ -459,12 +541,12 @@ func (b *Buffer) Get(id PageID) ([]byte, error) {
 func (b *Buffer) Put(id PageID, data []byte) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.countLogicalWrite()
+	b.countWrite(false)
 	if b.slots == 0 {
 		if err := b.file.WritePage(id, data); err != nil {
 			return err
 		}
-		b.countPhysicalWrite()
+		b.countWrite(true)
 		return nil
 	}
 	fr, err := b.load(id, false)
@@ -503,7 +585,7 @@ func (b *Buffer) Flush() error {
 			if err := b.file.WritePage(fr.id, fr.data); err != nil {
 				return err
 			}
-			b.countPhysicalWrite()
+			b.countWrite(true)
 			fr.dirty = false
 		}
 	}
@@ -526,7 +608,20 @@ func (b *Buffer) Stats() Stats {
 	return b.stats
 }
 
-// ResetStats zeroes the traffic counters; buffered pages stay cached.
+// ResetStats zeroes the buffer's local traffic counters; buffered pages
+// stay cached.
+//
+// Attached sinks are deliberately NOT reset: a sink may be shared by many
+// buffers (one CounterSink aggregates an entire TIA factory), so zeroing it
+// here would corrupt the other buffers' contribution. The contract is:
+//
+//   - Buffer.Stats is per buffer and resets here.
+//   - Sinks are cumulative; readers that need windows diff snapshots (the
+//     tia factories' ResetStats remembers a base snapshot and subtracts).
+//
+// After ResetStats, a sink's snapshot therefore no longer equals the sum of
+// the attached buffers' Stats — it exceeds it by exactly the traffic
+// accumulated before the reset. TestResetStatsLeavesSinkIntact pins this.
 func (b *Buffer) ResetStats() {
 	b.mu.Lock()
 	defer b.mu.Unlock()

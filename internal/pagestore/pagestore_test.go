@@ -251,10 +251,10 @@ func TestBufferResize(t *testing.T) {
 }
 
 func TestStatsAdd(t *testing.T) {
-	a := Stats{1, 2, 3, 4}
-	b := Stats{10, 20, 30, 40}
+	a := Stats{1, 2, 3, 4, 5}
+	b := Stats{10, 20, 30, 40, 50}
 	got := a.Add(b)
-	want := Stats{11, 22, 33, 44}
+	want := Stats{11, 22, 33, 44, 55}
 	if got != want {
 		t.Fatalf("Add = %+v, want %+v", got, want)
 	}
@@ -348,5 +348,79 @@ func TestCounterSinkSharedAcrossBuffers(t *testing.T) {
 	}
 	if d := s.Sub(sum); (d != Stats{}) {
 		t.Errorf("Sub = %+v, want zero", d)
+	}
+}
+
+// TestResetStatsLeavesSinkIntact pins the Buffer.ResetStats / CounterSink
+// contract: local buffer counters reset, shared sinks keep accumulating.
+// (Regression test: the two used to be described as interchangeable, but a
+// sink may be shared by many buffers, so a buffer-level reset must never
+// zero it; window readers diff sink snapshots instead.)
+func TestResetStatsLeavesSinkIntact(t *testing.T) {
+	f := NewMemFile(32)
+	var sink CounterSink
+	b := NewBufferWithSink(f, 1, &sink)
+	id1, _ := b.Alloc()
+	id2, _ := b.Alloc()
+	page := bytes.Repeat([]byte{9}, 32)
+	b.Put(id1, page)
+	b.Put(id2, page) // evicts id1 (dirty -> physical write + eviction)
+	if _, err := b.Get(id1); err != nil {
+		t.Fatal(err)
+	}
+	pre := b.Stats()
+	if pre.Evictions != 2 { // id1 evicted by Put(id2), id2 evicted by Get(id1)
+		t.Fatalf("evictions = %d, want 2 (stats %+v)", pre.Evictions, pre)
+	}
+	if got := sink.Snapshot(); got != pre {
+		t.Fatalf("sink %+v != buffer stats %+v before reset", got, pre)
+	}
+
+	b.ResetStats()
+	if got := b.Stats(); got != (Stats{}) {
+		t.Fatalf("buffer stats after reset = %+v, want zero", got)
+	}
+	if got := sink.Snapshot(); got != pre {
+		t.Fatalf("reset must not touch the sink: %+v != %+v", got, pre)
+	}
+
+	// New traffic lands in both; the sink exceeds the buffer by exactly the
+	// pre-reset totals, so snapshot diffing still yields exact windows.
+	base := sink.Snapshot()
+	if _, err := b.Get(id1); err != nil { // hit: cached since the Get above
+		t.Fatal(err)
+	}
+	if _, err := b.Get(id2); err != nil { // miss: evicted
+		t.Fatal(err)
+	}
+	local := b.Stats()
+	if local.LogicalReads != 2 || local.PhysicalReads != 1 {
+		t.Fatalf("post-reset buffer stats = %+v", local)
+	}
+	if got := sink.Snapshot().Sub(base); got != local {
+		t.Fatalf("sink window %+v != buffer stats %+v", got, local)
+	}
+	if got := sink.Snapshot().Sub(pre); got != local {
+		t.Fatalf("sink minus pre-reset %+v != buffer stats %+v", got, local)
+	}
+}
+
+// TestMultipleSinks checks that every attached sink sees every event,
+// including sinks attached after creation via AddSink.
+func TestMultipleSinks(t *testing.T) {
+	f := NewMemFile(16)
+	var s1, s2 CounterSink
+	b := NewBufferWithSinks(f, 1, &s1)
+	id, _ := b.Alloc()
+	b.Put(id, make([]byte, 16))
+	b.AddSink(&s2)
+	if _, err := b.Get(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := s1.Snapshot(); got.LogicalWrites != 1 || got.LogicalReads != 1 {
+		t.Errorf("s1 = %+v", got)
+	}
+	if got := s2.Snapshot(); got.LogicalWrites != 0 || got.LogicalReads != 1 {
+		t.Errorf("s2 should only see post-attach traffic: %+v", got)
 	}
 }

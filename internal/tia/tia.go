@@ -13,11 +13,56 @@ package tia
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"tartree/internal/btree"
 	"tartree/internal/mvbt"
 	"tartree/internal/pagestore"
 )
+
+// BackendKind identifies a TIA backend for the probe counters.
+type BackendKind int
+
+const (
+	// KindMem is the in-memory sorted-slice backend (also the mirrors).
+	KindMem BackendKind = iota
+	// KindBTree is the disk B+-tree backend (the default).
+	KindBTree
+	// KindMVBT is the multi-version B-tree backend.
+	KindMVBT
+	numKinds
+)
+
+// String implements fmt.Stringer with the metric-label spelling.
+func (k BackendKind) String() string {
+	switch k {
+	case KindMem:
+		return "mem"
+	case KindBTree:
+		return "btree"
+	case KindMVBT:
+		return "mvbt"
+	}
+	return "unknown"
+}
+
+// BackendKinds lists every backend kind.
+func BackendKinds() []BackendKind { return []BackendKind{KindMem, KindBTree, KindMVBT} }
+
+// probes counts aggregate probes (AggregateFunc calls) per backend kind,
+// process-wide. One atomic add per probe keeps the accounting cheap enough
+// for the hottest path; cmd/tarserve and cmd/tarbench export the totals as
+// tia_probes_total{backend="..."} metrics.
+var probes [numKinds]atomic.Int64
+
+// ProbeCount returns the number of aggregate probes issued against the
+// given backend kind since process start.
+func ProbeCount(k BackendKind) int64 {
+	if k < 0 || k >= numKinds {
+		return 0
+	}
+	return probes[k].Load()
+}
 
 // Record is one epoch's aggregate: the half-open epoch [Ts, Te) and the
 // aggregate value Agg accumulated during it.
@@ -180,6 +225,7 @@ func (m *Mem) Aggregate(iv Interval, sem Semantics) (int64, error) {
 
 // AggregateFunc implements Index.
 func (m *Mem) AggregateFunc(iv Interval, sem Semantics, f Func) (int64, error) {
+	probes[KindMem].Add(1)
 	lo := m.scanLow(iv, sem)
 	i := sort.Search(len(m.recs), func(i int) bool { return m.recs[i].Ts >= lo })
 	var acc int64
@@ -277,6 +323,9 @@ func (*MemFactory) ResetStats() {}
 // SetBufferSlots implements Factory.
 func (*MemFactory) SetBufferSlots(int) {}
 
+// AttachSink is a no-op: memory indexes produce no page traffic.
+func (*MemFactory) AttachSink(pagestore.Sink) {}
+
 // ---------------------------------------------------------------------------
 // B+-tree backend
 
@@ -300,6 +349,7 @@ func (b *BTree) Aggregate(iv Interval, sem Semantics) (int64, error) {
 
 // AggregateFunc implements Index.
 func (b *BTree) AggregateFunc(iv Interval, sem Semantics, f Func) (int64, error) {
+	probes[KindBTree].Add(1)
 	var acc int64
 	err := b.tree.Scan(b.scanLow(iv, sem), iv.End-1, func(ts int64, v btree.Value) bool {
 		if match(Record{Ts: ts, Te: v[0], Agg: v[1]}, iv, sem) {
@@ -332,6 +382,7 @@ type BTreeFactory struct {
 	bufs  []*pagestore.Buffer
 	sink  pagestore.CounterSink // O(1) combined stats across all buffers
 	base  pagestore.Stats       // totals captured at the last ResetStats
+	extra []pagestore.Sink      // attached observers (metrics registries)
 }
 
 // NewBTreeFactory creates a factory over an in-memory simulated disk with
@@ -347,13 +398,26 @@ func NewBTreeFactoryWithFile(f pagestore.File, slots int) *BTreeFactory {
 
 // New implements Factory.
 func (f *BTreeFactory) New() (Index, error) {
-	buf := pagestore.NewBufferWithSink(f.file, f.slots, &f.sink)
+	buf := pagestore.NewBufferWithSinks(f.file, f.slots, append([]pagestore.Sink{&f.sink}, f.extra...)...)
 	t, err := btree.New(buf)
 	if err != nil {
 		return nil, err
 	}
 	f.bufs = append(f.bufs, buf)
 	return &BTree{tree: t, buf: buf}, nil
+}
+
+// AttachSink subscribes s to the page traffic of every buffer the factory
+// has created or will create. core.NewTree uses it to publish buffer
+// hit/miss/eviction rates into an obs registry.
+func (f *BTreeFactory) AttachSink(s pagestore.Sink) {
+	if s == nil {
+		return
+	}
+	f.extra = append(f.extra, s)
+	for _, b := range f.bufs {
+		b.AddSink(s)
+	}
 }
 
 // Stats implements Factory. It reads the shared counter sink, so it is
@@ -413,6 +477,7 @@ func (m *MVBT) Aggregate(iv Interval, sem Semantics) (int64, error) {
 
 // AggregateFunc implements Index.
 func (m *MVBT) AggregateFunc(iv Interval, sem Semantics, f Func) (int64, error) {
+	probes[KindMVBT].Add(1)
 	var acc int64
 	err := m.tree.ScanAt(m.tree.Now(), m.scanLow(iv, sem), iv.End-1, func(ts int64, v mvbt.Value) bool {
 		if match(Record{Ts: ts, Te: v[0], Agg: v[1]}, iv, sem) {
@@ -449,6 +514,7 @@ type MVBTFactory struct {
 	bufs  []*pagestore.Buffer
 	sink  pagestore.CounterSink
 	base  pagestore.Stats
+	extra []pagestore.Sink
 }
 
 // NewMVBTFactory creates a factory over an in-memory simulated disk.
@@ -458,13 +524,25 @@ func NewMVBTFactory(pageSize, slots int) *MVBTFactory {
 
 // New implements Factory.
 func (f *MVBTFactory) New() (Index, error) {
-	buf := pagestore.NewBufferWithSink(f.file, f.slots, &f.sink)
+	buf := pagestore.NewBufferWithSinks(f.file, f.slots, append([]pagestore.Sink{&f.sink}, f.extra...)...)
 	t, err := mvbt.New(buf)
 	if err != nil {
 		return nil, err
 	}
 	f.bufs = append(f.bufs, buf)
 	return &MVBT{tree: t, buf: buf}, nil
+}
+
+// AttachSink subscribes s to the page traffic of every buffer the factory
+// has created or will create.
+func (f *MVBTFactory) AttachSink(s pagestore.Sink) {
+	if s == nil {
+		return
+	}
+	f.extra = append(f.extra, s)
+	for _, b := range f.bufs {
+		b.AddSink(s)
+	}
 }
 
 // Stats implements Factory (O(1) via the shared sink).

@@ -3,6 +3,8 @@ package tia
 import (
 	"math/rand"
 	"testing"
+
+	"tartree/internal/pagestore"
 )
 
 // factories under test; each subtest runs against all backends.
@@ -298,5 +300,68 @@ func TestAggregateFuncMax(t *testing.T) {
 				t.Errorf("sum = %d/%d, want 23", s1, s2)
 			}
 		})
+	}
+}
+
+// TestProbeCountsPerBackend checks that every backend's AggregateFunc
+// increments its own probe counter (the per-backend totals exported as
+// tia_probes_total metrics).
+func TestProbeCountsPerBackend(t *testing.T) {
+	iv := Interval{Start: 0, End: 100}
+	backends := []struct {
+		kind BackendKind
+		mk   func() (Index, error)
+	}{
+		{KindMem, func() (Index, error) { return NewMem(), nil }},
+		{KindBTree, NewBTreeFactory(256, 4).New},
+		{KindMVBT, NewMVBTFactory(1024, 4).New},
+	}
+	for _, b := range backends {
+		idx, err := b.mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := idx.Put(Record{Ts: 10, Te: 20, Agg: 3}); err != nil {
+			t.Fatal(err)
+		}
+		before := ProbeCount(b.kind)
+		for i := 0; i < 3; i++ {
+			if _, err := idx.AggregateFunc(iv, Contained, FuncSum); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := ProbeCount(b.kind) - before; got != 3 {
+			t.Errorf("%v: probe delta = %d, want 3", b.kind, got)
+		}
+	}
+	if ProbeCount(BackendKind(99)) != 0 {
+		t.Error("out-of-range kind should read 0")
+	}
+}
+
+// TestFactoryAttachSink checks that attached sinks observe buffers created
+// both before and after the attachment.
+func TestFactoryAttachSink(t *testing.T) {
+	f := NewBTreeFactory(256, 4)
+	early, err := f.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink pagestore.CounterSink
+	f.AttachSink(&sink)
+	late, err := f.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []Index{early, late} {
+		if err := idx.Put(Record{Ts: 0, Te: 10, Agg: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := idx.Aggregate(Interval{Start: 0, End: 10}, Contained); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sink.Snapshot(); got.LogicalReads == 0 || got.LogicalWrites == 0 {
+		t.Errorf("attached sink saw no traffic: %+v", got)
 	}
 }

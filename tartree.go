@@ -44,6 +44,7 @@ import (
 
 	"tartree/internal/core"
 	"tartree/internal/geo"
+	"tartree/internal/obs"
 	"tartree/internal/tia"
 )
 
@@ -79,6 +80,12 @@ type (
 	GeometricEpochs = core.GeometricEpochs
 	// AggFunc folds matched epochs into the temporal aggregate.
 	AggFunc = tia.Func
+	// MetricsRegistry collects the tree's metrics when set in
+	// Options.Metrics; serve it with its WriteTo (Prometheus text format).
+	MetricsRegistry = obs.Registry
+	// Trace aggregates timed spans of a single query; pass one built with
+	// NewTrace to (*Tree).QueryTraced.
+	Trace = obs.Trace
 )
 
 // Aggregate functions (Section 3.1).
@@ -101,6 +108,12 @@ const (
 
 // New creates an empty TAR-tree.
 func New(opts Options) (*Tree, error) { return core.NewTree(opts) }
+
+// NewMetrics creates an empty metrics registry for Options.Metrics.
+func NewMetrics() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTrace creates a per-query trace for (*Tree).QueryTraced.
+func NewTrace() *Trace { return obs.NewTrace() }
 
 // Load reconstructs a tree saved with (*Tree).SaveSnapshot. A nil factory
 // selects the default disk B+-tree TIAs.
