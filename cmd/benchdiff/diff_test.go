@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func rawMetrics(t *testing.T, m map[string]any) map[string]json.RawMessage {
+	t.Helper()
+	out := make(map[string]json.RawMessage, len(m))
+	for k, v := range m {
+		blob, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[k] = blob
+	}
+	return out
+}
+
+func testSnapshot(t *testing.T) snapshot {
+	return snapshot{
+		Experiment: "smoke",
+		Metrics: rawMetrics(t, map[string]any{
+			`bench_node_accesses_total{method="TAR-tree"}`: 120,
+			`bench_results_total{method="TAR-tree"}`:       200,
+			`bench_query_latency_seconds{method="TAR-tree"}`: map[string]any{
+				"count": 20, "sum": 0.1, "p50": 0.004, "p95": 0.009, "p99": 0.012,
+			},
+		}),
+		TIAProbes: map[string]int64{"btree": 900, "mem": 0},
+	}
+}
+
+func defaultOpts() options {
+	return options{CountTol: 1.10, LatencyTol: 1.30}
+}
+
+func countRegressions(fs []finding) int {
+	n := 0
+	for _, f := range fs {
+		if f.Regression {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCompareIdenticalSnapshots(t *testing.T) {
+	base := testSnapshot(t)
+	cur := testSnapshot(t)
+	fs := compare(base, cur, defaultOpts())
+	if len(fs) == 0 {
+		t.Fatal("no samples compared")
+	}
+	if n := countRegressions(fs); n != 0 {
+		t.Fatalf("identical snapshots produced %d regressions: %v", n, fs)
+	}
+}
+
+func TestCompareCountRegression(t *testing.T) {
+	base := testSnapshot(t)
+	cur := testSnapshot(t)
+	cur.Metrics[`bench_node_accesses_total{method="TAR-tree"}`] = json.RawMessage("150") // +25% > 10% tol
+	fs := compare(base, cur, defaultOpts())
+	if n := countRegressions(fs); n != 1 {
+		t.Fatalf("want exactly the node-access regression, got %d: %v", n, fs)
+	}
+	// Within tolerance: 120 → 130 is under ×1.10.
+	cur.Metrics[`bench_node_accesses_total{method="TAR-tree"}`] = json.RawMessage("130")
+	if n := countRegressions(compare(base, cur, defaultOpts())); n != 0 {
+		t.Fatalf("within-tolerance growth flagged: %v", compare(base, cur, defaultOpts()))
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	base := testSnapshot(t)
+	cur := testSnapshot(t)
+	cur.Metrics[`bench_node_accesses_total{method="TAR-tree"}`] = json.RawMessage("60")
+	cur.TIAProbes["btree"] = 400
+	if n := countRegressions(compare(base, cur, defaultOpts())); n != 0 {
+		t.Fatal("improvements flagged as regressions")
+	}
+}
+
+func TestCompareLatencyRegression(t *testing.T) {
+	base := testSnapshot(t)
+	cur := testSnapshot(t)
+	cur.Metrics[`bench_query_latency_seconds{method="TAR-tree"}`], _ = json.Marshal(map[string]any{
+		"count": 20, "sum": 0.3, "p50": 0.02, "p95": 0.05, "p99": 0.08, // 5× slower
+	})
+	if n := countRegressions(compare(base, cur, defaultOpts())); n != 2 { // p50 and p95
+		t.Fatalf("want 2 latency regressions, got %d", n)
+	}
+	// -skip-latency must ignore them.
+	opt := defaultOpts()
+	opt.SkipLatency = true
+	if n := countRegressions(compare(base, cur, opt)); n != 0 {
+		t.Fatal("skip-latency still flagged latency")
+	}
+}
+
+func TestCompareMissingMetric(t *testing.T) {
+	base := testSnapshot(t)
+	cur := testSnapshot(t)
+	delete(cur.Metrics, `bench_results_total{method="TAR-tree"}`)
+	fs := compare(base, cur, defaultOpts())
+	found := false
+	for _, f := range fs {
+		if f.Missing && f.Regression {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("disappeared metric not flagged: %v", fs)
+	}
+	// Extra metrics in the current run are fine.
+	cur2 := testSnapshot(t)
+	cur2.Metrics["bench_new_total"] = json.RawMessage("5")
+	if n := countRegressions(compare(base, cur2, defaultOpts())); n != 0 {
+		t.Fatal("new metric flagged as regression")
+	}
+}
+
+func TestCompareProbeRegression(t *testing.T) {
+	base := testSnapshot(t)
+	cur := testSnapshot(t)
+	cur.TIAProbes["btree"] = 2000
+	if n := countRegressions(compare(base, cur, defaultOpts())); n != 1 {
+		t.Fatal("probe blowup not flagged")
+	}
+	// A backend unused in the baseline (0 probes) never gates.
+	cur.TIAProbes["btree"] = 900
+	cur.TIAProbes["mem"] = 50
+	if n := countRegressions(compare(base, cur, defaultOpts())); n != 0 {
+		t.Fatal("unused-baseline backend gated")
+	}
+}
+
+func TestReadSnapshotErrors(t *testing.T) {
+	if _, err := readSnapshot(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readSnapshot(bad); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	nometrics := filepath.Join(t.TempDir(), "m.json")
+	if err := os.WriteFile(nometrics, []byte(`{"experiment":"smoke"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readSnapshot(nometrics); err == nil {
+		t.Error("snapshot without metrics accepted")
+	}
+}
+
+// TestReadSnapshotRoundTrip reads a real document shape (subset of what
+// tarbench writes) from disk.
+func TestReadSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_smoke.json")
+	doc := `{
+  "experiment": "smoke",
+  "config": {"scale": 0.06, "queries": 20, "seed": 1},
+  "metrics": {
+    "bench_node_accesses_total{method=\"TAR-tree\"}": 120,
+    "bench_query_latency_seconds{method=\"TAR-tree\"}": {"bounds": [0.001], "counts": [20, 0], "sum": 0.01, "count": 20, "p50": 0.0005, "p95": 0.0009, "p99": 0.001}
+  },
+  "tia_probes": {"btree": 900}
+}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := readSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := compare(s, s, defaultOpts())
+	if len(fs) == 0 || countRegressions(fs) != 0 {
+		t.Fatalf("self-comparison = %v", fs)
+	}
+}

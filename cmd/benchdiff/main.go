@@ -1,0 +1,77 @@
+// Command benchdiff compares two BENCH_<exp>.json snapshots written by
+// tarbench -json and fails when the newer run regressed: work counters
+// (node accesses, TIA reads, probe counts) above -count-tol times the
+// baseline, latency quantiles above -latency-tol times the baseline, or
+// baseline metrics that disappeared. Improvements never fail.
+//
+// Usage:
+//
+//	tarbench -exp smoke -json bench/baseline      # refresh the baseline
+//	tarbench -exp smoke -json out
+//	benchdiff bench/baseline/BENCH_smoke.json out/BENCH_smoke.json
+//
+// Exit status: 0 no regression, 1 regression, 2 usage or unreadable input.
+//
+// CI runs it with -skip-latency: the counter metrics of the smoke
+// experiment are deterministic (same data, same seed ⇒ same counts), while
+// wall-clock on shared runners is not.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		countTol    = flag.Float64("count-tol", 1.10, "fail when a work counter exceeds baseline×tol")
+		latencyTol  = flag.Float64("latency-tol", 1.30, "fail when a latency quantile exceeds baseline×tol")
+		skipLatency = flag.Bool("skip-latency", false, "ignore latency metrics (use on noisy CI runners)")
+		quiet       = flag.Bool("q", false, "print only regressions")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] baseline.json current.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := readSnapshot(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := readSnapshot(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if base.Experiment != cur.Experiment {
+		fmt.Fprintf(os.Stderr, "benchdiff: comparing different experiments: %q vs %q\n",
+			base.Experiment, cur.Experiment)
+		os.Exit(2)
+	}
+
+	findings := compare(base, cur, options{
+		CountTol:    *countTol,
+		LatencyTol:  *latencyTol,
+		SkipLatency: *skipLatency,
+	})
+	regressions := 0
+	for _, f := range findings {
+		if f.Regression {
+			regressions++
+		}
+		if f.Regression || !*quiet {
+			fmt.Println(f)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("\nbenchdiff: %d regression(s) against %s\n", regressions, flag.Arg(0))
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchdiff: no regressions (%d samples compared)\n", len(findings))
+}

@@ -14,6 +14,7 @@ import (
 	"tartree"
 	"tartree/internal/lbsn"
 	"tartree/internal/mwa"
+	"tartree/internal/pagestore"
 	"tartree/internal/planner"
 )
 
@@ -31,6 +32,7 @@ func main() {
 		adj      = flag.Bool("mwa", false, "also compute the minimum weight adjustment")
 		plan     = flag.Bool("plan", false, "consult the cost-model planner before answering")
 		group    = flag.String("grouping", "tar", "entry grouping: tar, spa, agg")
+		showIO   = flag.Bool("io", false, "print the per-component I/O breakdown of the query")
 	)
 	flag.Parse()
 
@@ -107,6 +109,10 @@ func main() {
 	fmt.Printf("\n%d node accesses (%d internal, %d leaf), %d TIA page reads, %v\n",
 		stats.RTreeAccesses(), stats.InternalAccesses, stats.LeafAccesses, stats.TIAAccesses, elapsed.Round(time.Microsecond))
 
+	if *showIO {
+		printIOBreakdown(stats)
+	}
+
 	if *adj {
 		_, a, _, err := mwa.Pruning(tr, q)
 		if err != nil {
@@ -123,6 +129,22 @@ func main() {
 			fmt.Println("  no adjustment changes the result set")
 		}
 	}
+}
+
+// printIOBreakdown renders the attributed page traffic of one query as a
+// table, one row per (component, level) pair that saw traffic. Level 0 is
+// the leaf level of the owning structure.
+func printIOBreakdown(stats tartree.QueryStats) {
+	fmt.Printf("\nI/O breakdown (level 0 = leaf):\n")
+	fmt.Printf("%-16s %5s  %8s  %8s  %9s\n", "component", "level", "hits", "misses", "evictions")
+	var total pagestore.IOCell
+	stats.IO.Each(func(c pagestore.Component, level int, cell pagestore.IOCell) {
+		fmt.Printf("%-16s %5d  %8d  %8d  %9d\n", c, level, cell.Hits, cell.Misses, cell.Evictions)
+		total.Hits += cell.Hits
+		total.Misses += cell.Misses
+		total.Evictions += cell.Evictions
+	})
+	fmt.Printf("%-16s %5s  %8d  %8d  %9d\n", "total", "", total.Hits, total.Misses, total.Evictions)
 }
 
 func fatal(err error) {

@@ -4,9 +4,11 @@
 //	GET /query?x=50&y=50&k=10&alpha=0.3[&days=128][&trace=1]
 //	GET /metrics        Prometheus text exposition of the obs registry
 //	GET /healthz        liveness, uptime, index size
+//	GET /debug/traces   recent and slowest query records with I/O breakdowns
 //	GET /debug/pprof/   standard Go profiling endpoints
 //
-// Per-request structured access logs go to stderr (slog).
+// Per-request structured access logs go to stderr (slog). Queries slower
+// than -slow-query are additionally logged at warn level.
 package main
 
 import (
@@ -24,11 +26,13 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		name  = flag.String("dataset", "GS", "data set name (NYC, LA, GW, GS)")
-		scale = flag.Float64("scale", 0.1, "data set scale in (0,1]")
-		group = flag.String("grouping", "tar", "entry grouping: tar, spa, agg")
+		addr    = flag.String("addr", ":8080", "listen address")
+		name    = flag.String("dataset", "GS", "data set name (NYC, LA, GW, GS)")
+		scale   = flag.Float64("scale", 0.1, "data set scale in (0,1]")
+		group   = flag.String("grouping", "tar", "entry grouping: tar, spa, agg")
 		logJSON = flag.Bool("logjson", false, "emit access logs as JSON instead of text")
+		nTraces = flag.Int("traces", 64, "query records kept for /debug/traces (0 disables capture)")
+		slowQ   = flag.Duration("slow-query", 250*time.Millisecond, "log queries slower than this at warn level")
 	)
 	flag.Parse()
 
@@ -62,8 +66,13 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	var ring *obs.TraceRing
+	if *nTraces > 0 {
+		ring = obs.NewTraceRing(*nTraces)
+		ring.SetSlowLog(log, *slowQ)
+	}
 	buildStart := time.Now()
-	tr, err := d.Build(lbsn.BuildOptions{Grouping: g, Metrics: reg})
+	tr, err := d.Build(lbsn.BuildOptions{Grouping: g, Metrics: reg, Traces: ring})
 	if err != nil {
 		fatal(err)
 	}
@@ -77,7 +86,7 @@ func main() {
 		"elapsed", time.Since(buildStart).Round(time.Millisecond),
 	)
 
-	srv := newServer(tr, reg, log, d.Spec.Start, d.Spec.End)
+	srv := newServer(tr, reg, ring, log, d.Spec.Start, d.Spec.End)
 	log.Info("listening", "addr", *addr)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fatal(err)

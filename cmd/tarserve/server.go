@@ -20,10 +20,11 @@ import (
 // server answers kNNTA queries over HTTP and exposes the observability
 // surface: /metrics (Prometheus text), /debug/pprof, /healthz.
 type server struct {
-	tree  *core.Tree
-	reg   *obs.Registry
-	log   *slog.Logger
-	start time.Time
+	tree   *core.Tree
+	reg    *obs.Registry
+	traces *obs.TraceRing // may be nil: /debug/traces then serves empty views
+	log    *slog.Logger
+	start  time.Time
 	// span of the indexed data, the default query interval
 	dataStart, dataEnd int64
 
@@ -37,10 +38,11 @@ type server struct {
 	mux      *http.ServeMux
 }
 
-func newServer(tree *core.Tree, reg *obs.Registry, log *slog.Logger, dataStart, dataEnd int64) *server {
+func newServer(tree *core.Tree, reg *obs.Registry, traces *obs.TraceRing, log *slog.Logger, dataStart, dataEnd int64) *server {
 	s := &server{
 		tree:      tree,
 		reg:       reg,
+		traces:    traces,
 		log:       log,
 		start:     time.Now(),
 		dataStart: dataStart,
@@ -61,6 +63,7 @@ func newServer(tree *core.Tree, reg *obs.Registry, log *slog.Logger, dataStart, 
 	s.mux.HandleFunc("GET /query", s.handleQuery)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	// pprof registers itself on http.DefaultServeMux; mount the handlers
 	// explicitly so the server owns its mux.
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -119,8 +122,11 @@ type queryResponse struct {
 		Scored           int   `json:"scored"`
 		NodeAccesses     int64 `json:"node_accesses"`
 	} `json:"stats"`
-	ElapsedMicros int64                     `json:"elapsed_us"`
-	Trace         map[string]obs.SpanStats  `json:"trace,omitempty"`
+	// IO is the attributed page-traffic breakdown of this query: one row
+	// per (component, level) pair that saw traffic.
+	IO            []obs.IOLine             `json:"io,omitempty"`
+	ElapsedMicros int64                    `json:"elapsed_us"`
+	Trace         map[string]obs.SpanStats `json:"trace,omitempty"`
 }
 
 type queryResult struct {
@@ -170,6 +176,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp.Stats.TIAPhysical = stats.TIAPhysical
 	resp.Stats.Scored = stats.Scored
 	resp.Stats.NodeAccesses = stats.NodeAccesses()
+	resp.IO = core.IOLines(&stats.IO)
 	resp.ElapsedMicros = time.Since(begin).Microseconds()
 	if tr != nil {
 		resp.Trace = make(map[string]obs.SpanStats)
@@ -237,6 +244,17 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"indexed_pois":   s.tree.Len(),
 		"grouping":       s.tree.Grouping().String(),
+	})
+}
+
+// handleTraces serves the capture ring: the most recent and the slowest
+// query records, each with spans (if the query ran traced) and the
+// attributed I/O breakdown.
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"capacity": s.traces.Cap(),
+		"recent":   s.traces.Recent(),
+		"slowest":  s.traces.Slowest(),
 	})
 }
 

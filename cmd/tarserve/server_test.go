@@ -25,12 +25,13 @@ func newTestServer(t *testing.T) (*server, *lbsn.Dataset) {
 		t.Fatal(err)
 	}
 	reg := obs.NewRegistry()
-	tr, err := d.Build(lbsn.BuildOptions{Metrics: reg})
+	ring := obs.NewTraceRing(8)
+	tr, err := d.Build(lbsn.BuildOptions{Metrics: reg, Traces: ring})
 	if err != nil {
 		t.Fatal(err)
 	}
 	log := slog.New(slog.NewTextHandler(io.Discard, nil))
-	return newServer(tr, reg, log, d.Spec.Start, d.Spec.End), d
+	return newServer(tr, reg, ring, log, d.Spec.Start, d.Spec.End), d
 }
 
 func get(t *testing.T, s *server, url string) (int, string) {
@@ -79,6 +80,26 @@ func TestServeQueryThenMetrics(t *testing.T) {
 	if n := metricValue(t, metrics, `tartree_query_latency_seconds_count`); n != 1 {
 		t.Errorf("latency count = %g, want 1", n)
 	}
+	if n := metricValue(t, metrics, `tartree_query_latency_seconds_sum`); n <= 0 {
+		t.Errorf("latency sum = %g, want > 0", n)
+	}
+	// Attributed I/O counters: the query must leave labeled read series for
+	// the r-tree components and the TIA backend, and they must reconcile
+	// with the response's own stats.
+	rtleaf := metricValue(t, metrics, `tartree_io_page_reads_total{component="rtree-leaf",level="0",result="hit"}`)
+	if rtleaf != float64(resp.Stats.LeafAccesses) {
+		t.Errorf("rtree-leaf hits = %g, want %d", rtleaf, resp.Stats.LeafAccesses)
+	}
+	var tiaReads float64
+	for level := 0; level < 8; level++ {
+		for _, result := range []string{"hit", "miss"} {
+			tiaReads += metricValue(t, metrics,
+				`tartree_io_page_reads_total{component="tia-btree",level="`+strconv.Itoa(level)+`",result="`+result+`"}`)
+		}
+	}
+	if tiaReads != float64(resp.Stats.TIAAccesses) {
+		t.Errorf("tia-btree reads = %g, want %d", tiaReads, resp.Stats.TIAAccesses)
+	}
 	hits := metricValue(t, metrics, `tartree_pagestore_reads_total{result="hit"}`)
 	misses := metricValue(t, metrics, `tartree_pagestore_reads_total{result="miss"}`)
 	if hits+misses <= 0 {
@@ -120,6 +141,65 @@ func TestServeQueryTrace(t *testing.T) {
 	_, body = get(t, s, "/query?x=30&y=70&k=3")
 	if strings.Contains(body, `"trace"`) {
 		t.Error("untraced query response contains a trace")
+	}
+}
+
+// TestServeDebugTraces checks the capture ring endpoint: every query —
+// traced or not — must appear with its I/O breakdown, and traced queries
+// keep their spans.
+func TestServeDebugTraces(t *testing.T) {
+	s, _ := newTestServer(t)
+	for i := 0; i < 3; i++ {
+		if code, body := get(t, s, "/query?x=50&y=50&k=5&days=128"); code != 200 {
+			t.Fatalf("query status %d: %s", code, body)
+		}
+	}
+	if code, body := get(t, s, "/query?x=20&y=80&k=3&trace=1"); code != 200 {
+		t.Fatalf("traced query status %d: %s", code, body)
+	}
+
+	code, body := get(t, s, "/debug/traces")
+	if code != 200 {
+		t.Fatalf("debug/traces status %d: %s", code, body)
+	}
+	var dump struct {
+		Capacity int               `json:"capacity"`
+		Recent   []obs.TraceRecord `json:"recent"`
+		Slowest  []obs.TraceRecord `json:"slowest"`
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("debug/traces not JSON: %v\n%s", err, body)
+	}
+	if dump.Capacity != 8 {
+		t.Errorf("capacity = %d, want 8", dump.Capacity)
+	}
+	if len(dump.Recent) != 4 || len(dump.Slowest) != 4 {
+		t.Fatalf("recent=%d slowest=%d records, want 4 each", len(dump.Recent), len(dump.Slowest))
+	}
+	// Newest first: the traced query leads and keeps its spans.
+	newest := dump.Recent[0]
+	if !strings.Contains(newest.Query, "k=3") {
+		t.Errorf("newest record = %q, want the k=3 query", newest.Query)
+	}
+	if len(newest.Spans) == 0 {
+		t.Error("traced query record has no spans")
+	}
+	if dump.Recent[1].Spans != nil {
+		t.Error("untraced query record has spans")
+	}
+	for _, rec := range dump.Recent {
+		if rec.ID == 0 || rec.Elapsed <= 0 {
+			t.Errorf("record missing identity/timing: %+v", rec)
+		}
+		var tia int64
+		for _, line := range rec.IO {
+			if line.Component == "tia-btree" {
+				tia += line.Hits + line.Misses
+			}
+		}
+		if tia == 0 {
+			t.Errorf("record %d has no attributed TIA traffic: %+v", rec.ID, rec.IO)
+		}
 	}
 }
 

@@ -2,9 +2,12 @@ package bench
 
 import (
 	"bytes"
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
+
+	"tartree/internal/obs"
 )
 
 // tinyConfig keeps the smoke tests fast.
@@ -85,6 +88,44 @@ func TestAllExperimentsRun(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestSmokeDeterministic runs the regression probe twice with the same
+// config and requires identical work counters — the property cmd/benchdiff
+// relies on to gate CI on counts instead of wall-clock.
+func TestSmokeDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	counters := func() map[string]int64 {
+		reg := obs.NewRegistry()
+		cfg := tinyConfig()
+		cfg.Metrics = reg
+		if _, err := Smoke(cfg); err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]int64{}
+		for name, v := range reg.Snapshot() {
+			if n, ok := v.(int64); ok {
+				out[name] = n
+			}
+		}
+		return out
+	}
+	a, b := counters(), counters()
+	if len(a) == 0 {
+		t.Fatal("smoke exported no counters")
+	}
+	for name, v := range a {
+		if b[name] != v {
+			t.Errorf("counter %s: %d vs %d across identical runs", name, v, b[name])
+		}
+	}
+	for _, method := range []string{"baseline", "IND-agg", "IND-spa", "TAR-tree"} {
+		if a[fmt.Sprintf(`bench_results_total{method=%q}`, method)] == 0 {
+			t.Errorf("method %s returned no results", method)
+		}
 	}
 }
 

@@ -553,10 +553,12 @@ var Experiments = map[string]func(Config) ([]Table, error){
 	"fig14":  Fig14,
 	"fig15":  Fig15,
 	"fig16":  Fig16,
+	"smoke":  Smoke,
 }
 
-// ExperimentIDs lists the experiment ids in the paper's order.
+// ExperimentIDs lists the experiment ids in the paper's order, plus the
+// smoke regression probe.
 func ExperimentIDs() []string {
 	return []string{"table2", "table4", "fig6", "fig7", "fig8", "fig9",
-		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"}
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "smoke"}
 }

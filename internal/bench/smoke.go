@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"tartree/internal/obs"
+)
+
+// smokeDefaults keep the regression probe under a few seconds: one small
+// data set and a short, fixed query batch.
+const (
+	smokeScale   = 0.06
+	smokeQueries = 20
+)
+
+// Smoke is the regression probe behind cmd/benchdiff: one small data set,
+// all four methods, a fixed deterministic query batch. Besides the usual
+// latency histograms it exports exact work counters into cfg.Metrics —
+//
+//	bench_node_accesses_total{method="..."}
+//	bench_tia_reads_total{method="..."}
+//	bench_results_total{method="..."}
+//
+// which are machine-independent (they count index work, not time), so two
+// BENCH_smoke.json snapshots from different machines are comparable.
+func Smoke(cfg Config) ([]Table, error) {
+	name := cfg.datasets()[0]
+	if len(cfg.Datasets) == 0 {
+		name = "GS"
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = smokeScale
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = smokeQueries
+	}
+	env, err := newEnv(cfg, name)
+	if err != nil {
+		return nil, err
+	}
+	methods, err := env.buildAll(defaultNodeSize, defaultEpoch, 0)
+	if err != nil {
+		return nil, err
+	}
+	queries := env.data.Queries(cfg.queries(), defaultK, defaultAlpha, cfg.Seed+11)
+
+	t := Table{
+		Title:  fmt.Sprintf("Smoke: regression probe (%s, scale %.2f, %d queries)", name, cfg.Scale, len(queries)),
+		Header: []string{"method", "results", "node accesses", "TIA reads", "CPU time (ms)", "p50 (ms)"},
+	}
+	for _, mn := range methodNames {
+		var results, nodeAccesses, tiaReads int64
+		var cpuMicros float64
+		local := obs.NewHistogram(nil)
+		var shared *obs.Histogram
+		if cfg.Metrics != nil {
+			shared = cfg.Metrics.Histogram(fmt.Sprintf(`bench_query_latency_seconds{method=%q}`, mn), nil)
+		}
+		for _, qu := range queries {
+			start := time.Now()
+			res, stats, err := methods[mn].Query(qu)
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			local.Observe(elapsed.Seconds())
+			if shared != nil {
+				shared.Observe(elapsed.Seconds())
+			}
+			cpuMicros += float64(elapsed.Microseconds())
+			results += int64(len(res))
+			nodeAccesses += int64(stats.RTreeAccesses())
+			tiaReads += stats.TIAAccesses
+		}
+		if cfg.Metrics != nil {
+			cfg.Metrics.Counter(fmt.Sprintf(`bench_node_accesses_total{method=%q}`, mn)).Add(nodeAccesses)
+			cfg.Metrics.Counter(fmt.Sprintf(`bench_tia_reads_total{method=%q}`, mn)).Add(tiaReads)
+			cfg.Metrics.Counter(fmt.Sprintf(`bench_results_total{method=%q}`, mn)).Add(results)
+		}
+		snap := local.Snapshot()
+		t.Rows = append(t.Rows, []string{
+			mn,
+			fmt.Sprintf("%d", results),
+			fmt.Sprintf("%d", nodeAccesses),
+			fmt.Sprintf("%d", tiaReads),
+			ms(cpuMicros / float64(len(queries))),
+			fmt.Sprintf("%.3f", snap.P50*1000),
+		})
+	}
+	return []Table{t}, nil
+}

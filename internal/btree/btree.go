@@ -38,8 +38,12 @@ var (
 
 // node is the in-memory decoding of a page.
 type node struct {
-	id       pagestore.PageID
-	leaf     bool
+	id   pagestore.PageID
+	leaf bool
+	// level is the node's height in the tree (1 = leaf); it is not
+	// stored on the page but threaded from callers, which always know
+	// it, so page I/O can be attributed per level.
+	level    int
 	keys     []int64
 	vals     []Value            // leaf only; len == len(keys)
 	children []pagestore.PageID // inner only; len == len(keys)+1
@@ -79,7 +83,7 @@ func New(buf *pagestore.Buffer) (*Tree, error) {
 		return nil, err
 	}
 	t.root = root
-	if err := t.writeNode(&node{id: root, leaf: true}); err != nil {
+	if err := t.writeNode(&node{id: root, leaf: true, level: 1}); err != nil {
 		return nil, err
 	}
 	return t, nil
@@ -95,12 +99,18 @@ func (t *Tree) Height() int { return t.height }
 func (t *Tree) LeafCap() int  { return t.leafCap }
 func (t *Tree) InnerCap() int { return t.innerCap }
 
-func (t *Tree) readNode(id pagestore.PageID) (*node, error) {
-	page, err := t.buf.Get(id)
+// tag attributes one page access to this tree's component at the given
+// node level (btree levels are 1-based; attribution levels are 0 = leaf).
+func tag(level int) pagestore.IOTag {
+	return pagestore.NewIOTag(pagestore.CompTIABTree, level-1)
+}
+
+func (t *Tree) readNode(id pagestore.PageID, level int) (*node, error) {
+	page, err := t.buf.GetTag(id, tag(level))
 	if err != nil {
 		return nil, err
 	}
-	n := &node{id: id}
+	n := &node{id: id, level: level}
 	n.leaf = page[0]&flagLeaf != 0
 	cnt := int(binary.LittleEndian.Uint16(page[2:4]))
 	n.next = pagestore.PageID(binary.LittleEndian.Uint32(page[4:8]))
@@ -161,7 +171,7 @@ func (t *Tree) writeNode(n *node) error {
 			off += innerEntry
 		}
 	}
-	return t.buf.Put(n.id, page)
+	return t.buf.PutTag(n.id, page, tag(n.level))
 }
 
 // search returns the index of the first key >= k.
@@ -182,7 +192,7 @@ func search(keys []int64, k int64) int {
 func (t *Tree) Get(key int64) (Value, bool, error) {
 	id := t.root
 	for level := t.height; level > 1; level-- {
-		n, err := t.readNode(id)
+		n, err := t.readNode(id, level)
 		if err != nil {
 			return Value{}, false, err
 		}
@@ -192,7 +202,7 @@ func (t *Tree) Get(key int64) (Value, bool, error) {
 		}
 		id = n.children[i]
 	}
-	n, err := t.readNode(id)
+	n, err := t.readNode(id, 1)
 	if err != nil {
 		return Value{}, false, err
 	}
@@ -220,6 +230,7 @@ func (t *Tree) Put(key int64, v Value) error {
 		}
 		root := &node{
 			id:       id,
+			level:    t.height + 1,
 			keys:     []int64{sepKey},
 			children: []pagestore.PageID{t.root, right},
 		}
@@ -235,7 +246,7 @@ func (t *Tree) Put(key int64, v Value) error {
 // insert descends to the leaf, inserts and splits upward. It returns the
 // separator key and new right sibling when the visited node split.
 func (t *Tree) insert(id pagestore.PageID, level int, key int64, v Value) (int64, pagestore.PageID, bool, error) {
-	n, err := t.readNode(id)
+	n, err := t.readNode(id, level)
 	if err != nil {
 		return 0, pagestore.InvalidPage, false, err
 	}
@@ -261,11 +272,12 @@ func (t *Tree) insert(id pagestore.PageID, level int, key int64, v Value) (int64
 			return 0, pagestore.InvalidPage, false, err
 		}
 		right := &node{
-			id:   rid,
-			leaf: true,
-			keys: append([]int64(nil), n.keys[mid:]...),
-			vals: append([]Value(nil), n.vals[mid:]...),
-			next: n.next,
+			id:    rid,
+			leaf:  true,
+			level: 1,
+			keys:  append([]int64(nil), n.keys[mid:]...),
+			vals:  append([]Value(nil), n.vals[mid:]...),
+			next:  n.next,
 		}
 		n.keys = n.keys[:mid]
 		n.vals = n.vals[:mid]
@@ -306,6 +318,7 @@ func (t *Tree) insert(id pagestore.PageID, level int, key int64, v Value) (int64
 	}
 	right := &node{
 		id:       rid,
+		level:    level,
 		keys:     append([]int64(nil), n.keys[mid+1:]...),
 		children: append([]pagestore.PageID(nil), n.children[mid+1:]...),
 	}
@@ -325,7 +338,7 @@ func (t *Tree) insert(id pagestore.PageID, level int, key int64, v Value) (int64
 func (t *Tree) Scan(lo, hi int64, fn func(key int64, v Value) bool) error {
 	id := t.root
 	for level := t.height; level > 1; level-- {
-		n, err := t.readNode(id)
+		n, err := t.readNode(id, level)
 		if err != nil {
 			return err
 		}
@@ -336,7 +349,7 @@ func (t *Tree) Scan(lo, hi int64, fn func(key int64, v Value) bool) error {
 		id = n.children[i]
 	}
 	for id != pagestore.InvalidPage {
-		n, err := t.readNode(id)
+		n, err := t.readNode(id, 1)
 		if err != nil {
 			return err
 		}
@@ -364,7 +377,7 @@ func (t *Tree) Delete(key int64) (bool, error) {
 	}
 	// Collapse the root when an inner root has a single child.
 	for t.height > 1 {
-		n, err := t.readNode(t.root)
+		n, err := t.readNode(t.root, t.height)
 		if err != nil {
 			return removed, err
 		}
@@ -391,7 +404,7 @@ func (t *Tree) minKeys(level int) int {
 // remove deletes key from the subtree rooted at id. The second result
 // reports whether the node at id is now underfull (its parent rebalances).
 func (t *Tree) remove(id pagestore.PageID, level int, key int64) (bool, bool, error) {
-	n, err := t.readNode(id)
+	n, err := t.readNode(id, level)
 	if err != nil {
 		return false, false, err
 	}
@@ -424,7 +437,7 @@ func (t *Tree) remove(id pagestore.PageID, level int, key int64) (bool, bool, er
 // rebalance fixes the underfull child at position i of parent p by
 // borrowing from or merging with a sibling.
 func (t *Tree) rebalance(p *node, i, childLevel int) error {
-	child, err := t.readNode(p.children[i])
+	child, err := t.readNode(p.children[i], childLevel)
 	if err != nil {
 		return err
 	}
@@ -432,7 +445,7 @@ func (t *Tree) rebalance(p *node, i, childLevel int) error {
 
 	// Try to borrow from the left sibling.
 	if i > 0 {
-		left, err := t.readNode(p.children[i-1])
+		left, err := t.readNode(p.children[i-1], childLevel)
 		if err != nil {
 			return err
 		}
@@ -464,7 +477,7 @@ func (t *Tree) rebalance(p *node, i, childLevel int) error {
 	}
 	// Try to borrow from the right sibling.
 	if i < len(p.children)-1 {
-		right, err := t.readNode(p.children[i+1])
+		right, err := t.readNode(p.children[i+1], childLevel)
 		if err != nil {
 			return err
 		}
@@ -496,11 +509,11 @@ func (t *Tree) rebalance(p *node, i, childLevel int) error {
 	if j == 0 {
 		j = 1
 	}
-	left, err := t.readNode(p.children[j-1])
+	left, err := t.readNode(p.children[j-1], childLevel)
 	if err != nil {
 		return err
 	}
-	right, err := t.readNode(p.children[j])
+	right, err := t.readNode(p.children[j], childLevel)
 	if err != nil {
 		return err
 	}
@@ -535,7 +548,7 @@ func (t *Tree) Destroy() error {
 
 func (t *Tree) freeSubtree(id pagestore.PageID, level int) error {
 	if level > 1 {
-		n, err := t.readNode(id)
+		n, err := t.readNode(id, level)
 		if err != nil {
 			return err
 		}
@@ -562,7 +575,7 @@ func (t *Tree) Check() error {
 }
 
 func (t *Tree) check(id pagestore.PageID, level int, lo, hi *int64, isRoot bool) (int, pagestore.PageID, pagestore.PageID, error) {
-	n, err := t.readNode(id)
+	n, err := t.readNode(id, level)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -604,7 +617,7 @@ func (t *Tree) check(id pagestore.PageID, level int, lo, hi *int64, isRoot bool)
 			firstLeaf = fl
 		} else if level == 2 {
 			// Verify the leaf chain between consecutive children.
-			prev, err := t.readNode(prevLast)
+			prev, err := t.readNode(prevLast, 1)
 			if err != nil {
 				return 0, 0, 0, err
 			}

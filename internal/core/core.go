@@ -125,6 +125,13 @@ type Options struct {
 	// attaching one factory to two instrumented trees double-counts its
 	// page traffic.
 	Metrics *obs.Registry
+	// Traces, when set, records every finished query (its latency,
+	// result count and attributed I/O breakdown, plus timed spans when the
+	// query ran through QueryTraced with a trace) into the ring, which
+	// keeps the most recent and slowest records. Nil disables capture.
+	// Independent of Metrics; cmd/tarserve serves the ring at
+	// /debug/traces.
+	Traces *obs.TraceRing
 }
 
 func (o *Options) fill() error {
@@ -236,7 +243,8 @@ type Tree struct {
 	clock   int64                            // latest time observed
 	pending map[tia.Interval]map[int64]int64 // epoch → poi → count
 
-	instr *instruments // nil unless Options.Metrics is set
+	instr  *instruments   // nil unless Options.Metrics is set
+	traces *obs.TraceRing // nil unless Options.Traces is set
 }
 
 // NewTree creates an empty TAR-tree.
@@ -264,6 +272,7 @@ func NewTree(opts Options) (*Tree, error) {
 			at.AttachSink(obs.NewPageSink(opts.Metrics, "tartree_pagestore"))
 		}
 	}
+	t.traces = opts.Traces
 	disk, err := opts.TIA.New()
 	if err != nil {
 		return nil, err

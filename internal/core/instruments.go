@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"tartree/internal/obs"
@@ -23,6 +24,15 @@ type instruments struct {
 	tiaLogical  *obs.Counter
 	tiaPhysical *obs.Counter
 	scored      *obs.Counter
+
+	// Attributed I/O counters, one per (component, level, event) actually
+	// observed. Created lazily so the exposition shows only series with
+	// traffic; the cache avoids re-formatting the labeled name per query.
+	reg    *obs.Registry
+	ioMu   sync.Mutex
+	ioHits [pagestore.NumComponents][pagestore.MaxIOLevels]*obs.Counter
+	ioMiss [pagestore.NumComponents][pagestore.MaxIOLevels]*obs.Counter
+	ioEvic [pagestore.NumComponents][pagestore.MaxIOLevels]*obs.Counter
 }
 
 func newInstruments(r *obs.Registry) *instruments {
@@ -37,7 +47,24 @@ func newInstruments(r *obs.Registry) *instruments {
 		tiaLogical:  r.Counter(`tartree_tia_page_reads_total{kind="logical"}`),
 		tiaPhysical: r.Counter(`tartree_tia_page_reads_total{kind="physical"}`),
 		scored:      r.Counter("tartree_entries_scored_total"),
+		reg:         r,
 	}
+}
+
+// ioCounters returns (creating on first use) the hit/miss/eviction
+// counters of one breakdown cell.
+func (in *instruments) ioCounters(c pagestore.Component, level int) (hits, misses, evic *obs.Counter) {
+	in.ioMu.Lock()
+	defer in.ioMu.Unlock()
+	if in.ioHits[c][level] == nil {
+		in.ioHits[c][level] = in.reg.Counter(fmt.Sprintf(
+			`tartree_io_page_reads_total{component=%q,level="%d",result="hit"}`, c.String(), level))
+		in.ioMiss[c][level] = in.reg.Counter(fmt.Sprintf(
+			`tartree_io_page_reads_total{component=%q,level="%d",result="miss"}`, c.String(), level))
+		in.ioEvic[c][level] = in.reg.Counter(fmt.Sprintf(
+			`tartree_io_evictions_total{component=%q,level="%d"}`, c.String(), level))
+	}
+	return in.ioHits[c][level], in.ioMiss[c][level], in.ioEvic[c][level]
 }
 
 // record folds one finished query into the metrics: the paper's work
@@ -59,6 +86,12 @@ func (in *instruments) record(stats QueryStats, nresults int, d time.Duration, e
 	in.tiaLogical.Add(stats.TIAAccesses)
 	in.tiaPhysical.Add(stats.TIAPhysical)
 	in.scored.Add(int64(stats.Scored))
+	stats.IO.Each(func(c pagestore.Component, level int, cell pagestore.IOCell) {
+		hits, misses, evic := in.ioCounters(c, level)
+		hits.Add(cell.Hits)
+		misses.Add(cell.Misses)
+		evic.Add(cell.Evictions)
+	})
 }
 
 // registerTIAProbes exports the process-wide per-backend probe totals.

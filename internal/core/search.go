@@ -2,10 +2,12 @@ package core
 
 import (
 	"container/heap"
+	"fmt"
 	"time"
 
 	"tartree/internal/geo"
 	"tartree/internal/obs"
+	"tartree/internal/pagestore"
 	"tartree/internal/rstar"
 	"tartree/internal/tia"
 )
@@ -24,6 +26,12 @@ type QueryStats struct {
 	// Scored counts entry score computations (TIA aggregate lookups before
 	// caching).
 	Scored int
+	// IO attributes the query's page traffic by (component, level): R-tree
+	// node reads (always buffer hits — the R-tree is in memory) and TIA
+	// page traffic per backend. Populated by Query/QueryTraced; the TIA
+	// cells reconcile exactly with the factory's Stats() delta over the
+	// query, and the R-tree cells with InternalAccesses/LeafAccesses.
+	IO pagestore.IOBreakdown
 }
 
 // NodeAccesses returns R-tree plus logical TIA accesses, the total the
@@ -274,8 +282,10 @@ func (t *Tree) NewSearchWith(q Query, o SearchOptions) (*Search, error) {
 	if o.Stats != nil && !o.SkipAccessCounting {
 		if root.Level == 0 {
 			o.Stats.LeafAccesses++
+			o.Stats.IO.AddRead(pagestore.NewIOTag(pagestore.CompRTreeLeaf, 0), true)
 		} else {
 			o.Stats.InternalAccesses++
+			o.Stats.IO.AddRead(pagestore.NewIOTag(pagestore.CompRTreeInternal, root.Level), true)
 		}
 	}
 	for _, e := range root.Entries {
@@ -365,8 +375,10 @@ func (s *Search) Expand(el *Elem) error {
 	if s.CountAccesses && s.stats != nil {
 		if n.Level == 0 {
 			s.stats.LeafAccesses++
+			s.stats.IO.AddRead(pagestore.NewIOTag(pagestore.CompRTreeLeaf, 0), true)
 		} else {
 			s.stats.InternalAccesses++
+			s.stats.IO.AddRead(pagestore.NewIOTag(pagestore.CompRTreeInternal, n.Level), true)
 		}
 	}
 	for _, e := range n.Entries {
@@ -410,37 +422,87 @@ func (t *Tree) Query(q Query) ([]Result, QueryStats, error) {
 
 // QueryTraced is Query with an optional per-query trace: when tr is
 // non-nil, the search records timed spans (gmax read, queue pops, node
-// expansions, TIA probes) into it. A nil trace is free.
+// expansions, TIA probes) into it. A nil trace is free. On a tree with a
+// trace ring (Options.Traces) every query — traced or not — is recorded
+// into the ring with its I/O breakdown.
 func (t *Tree) QueryTraced(q Query, tr *obs.Trace) ([]Result, QueryStats, error) {
 	var begin time.Time
-	if t.instr != nil {
+	if t.instr != nil || t.traces != nil {
 		begin = time.Now()
 	}
 	res, stats, err := t.runQuery(q, tr)
 	if t.instr != nil {
 		t.instr.record(stats, len(res), time.Since(begin), err)
 	}
+	if t.traces != nil {
+		rec := obs.TraceRecord{
+			Query:   describeQuery(q),
+			Start:   begin,
+			Elapsed: time.Since(begin),
+			Results: len(res),
+			Spans:   tr.Spans(),
+			IO:      IOLines(&stats.IO),
+		}
+		if err != nil {
+			rec.Err = err.Error()
+		}
+		t.traces.Record(rec)
+	}
 	return res, stats, err
+}
+
+// describeQuery renders a query compactly for trace records and logs.
+func describeQuery(q Query) string {
+	return fmt.Sprintf("knnta(x=%g, y=%g, k=%d, a0=%g, iq=[%d,%d))",
+		q.X, q.Y, q.K, q.Alpha0, q.Iq.Start, q.Iq.End)
+}
+
+// IOLines converts a breakdown into the neutral rows obs stores (obs is
+// dependency-free, so it cannot see pagestore types). Exported so servers
+// can render a query's attribution without depending on the array layout.
+func IOLines(b *pagestore.IOBreakdown) []obs.IOLine {
+	var out []obs.IOLine
+	b.Each(func(c pagestore.Component, level int, cell pagestore.IOCell) {
+		out = append(out, obs.IOLine{
+			Component: c.String(),
+			Level:     level,
+			Hits:      cell.Hits,
+			Misses:    cell.Misses,
+			Evictions: cell.Evictions,
+		})
+	})
+	return out
 }
 
 func (t *Tree) runQuery(q Query, tr *obs.Trace) ([]Result, QueryStats, error) {
 	var stats QueryStats
-	s, err := t.NewSearchWith(q, SearchOptions{Stats: &stats, Trace: tr})
+	// The factory breakdown is diffed once per query — not per probe like
+	// the flat Stats() — so attribution costs a fixed ~2×NumComponents×
+	// MaxIOLevels atomic loads per query regardless of probe count.
+	tiaBefore := t.opts.TIA.Breakdown()
+	res, err := t.searchTopK(q, tr, &stats)
+	diff := t.opts.TIA.Breakdown().Sub(tiaBefore)
+	stats.IO.Add(&diff)
+	return res, stats, err
+}
+
+func (t *Tree) searchTopK(q Query, tr *obs.Trace, stats *QueryStats) ([]Result, error) {
+	s, err := t.NewSearchWith(q, SearchOptions{Stats: stats, Trace: tr})
 	if err != nil {
-		return nil, stats, err
+		return nil, err
 	}
 	results := make([]Result, 0, q.K)
 	for len(results) < q.K {
 		r, err := s.Next()
 		if err != nil {
-			return nil, stats, err
+			return nil, err
 		}
 		if r == nil {
 			break
 		}
 		results = append(results, *r)
 	}
-	return results, stats, nil
+	return results, nil
 }
 
 // ScorePOI computes the exact ranking score of one POI for q (from the

@@ -5,6 +5,7 @@ import (
 
 	"tartree/internal/geo"
 	"tartree/internal/obs"
+	"tartree/internal/pagestore"
 	"tartree/internal/rstar"
 	"tartree/internal/tia"
 )
@@ -216,5 +217,94 @@ func TestQueryTracedRecordsSpans(t *testing.T) {
 	}
 	if len(resBare) != len(resTraced) || statsBare != statsTraced {
 		t.Errorf("tracing changed the query: %+v vs %+v", statsBare, statsTraced)
+	}
+}
+
+// TestIOBreakdownConservation is the attribution conservation check, for
+// all three groupings: every query's IOBreakdown must (a) match the flat
+// QueryStats counters component by component, (b) contain no unattributed
+// traffic, and (c) sum — across queries — to exactly the TIA factory's
+// breakdown and flat Stats() deltas, which aggregate the underlying
+// pagestore buffers' traffic.
+func TestIOBreakdownConservation(t *testing.T) {
+	backends := map[string]func() tia.Factory{
+		"btree": func() tia.Factory { return tia.NewBTreeFactory(256, 10) },
+		"mvbt":  func() tia.Factory { return tia.NewMVBTFactory(1024, 10) },
+	}
+	for _, g := range []Grouping{TAR3D, IndSpa, IndAgg} {
+		for name, newFac := range backends {
+			t.Run(g.String()+"/"+name, func(t *testing.T) {
+				tr := buildAccountingTreeOpts(t, Options{
+					World:       geo.Rect{Min: geo.Vector{0, 0}, Max: geo.Vector{100, 100}},
+					NodeSize:    256,
+					Grouping:    g,
+					EpochStart:  0,
+					EpochLength: 100,
+					TIA:         newFac(),
+				})
+				fac := tr.TIAFactory()
+				fac.ResetStats()
+				queries := []Query{
+					{X: 50, Y: 50, Iq: tia.Interval{Start: 0, End: 600}, K: tr.Len(), Alpha0: 0.5},
+					{X: 10, Y: 80, Iq: tia.Interval{Start: 100, End: 400}, K: 5, Alpha0: 0.3},
+					{X: 95, Y: 5, Iq: tia.Interval{Start: 200, End: 600}, K: 1, Alpha0: 0.7},
+					{X: 50, Y: 50, Iq: tia.Interval{Start: 0, End: 600}, K: 10, Alpha0: 0.5},
+				}
+				var sum pagestore.IOBreakdown
+				for i, q := range queries {
+					_, stats, err := tr.Query(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// R-tree cells are pure buffer hits (the R-tree is in
+					// memory) and must equal the flat node-access counters.
+					ri := stats.IO.Component(pagestore.CompRTreeInternal)
+					rl := stats.IO.Component(pagestore.CompRTreeLeaf)
+					if ri.Hits != int64(stats.InternalAccesses) || ri.Misses != 0 {
+						t.Errorf("query %d: rtree-internal cell %+v, want %d pure hits", i, ri, stats.InternalAccesses)
+					}
+					if rl.Hits != int64(stats.LeafAccesses) || rl.Misses != 0 {
+						t.Errorf("query %d: rtree-leaf cell %+v, want %d pure hits", i, rl, stats.LeafAccesses)
+					}
+					// TIA cells must reconcile with the flat TIA counters, and
+					// no query traffic may be unattributed.
+					var tiaHits, tiaMisses int64
+					stats.IO.Each(func(c pagestore.Component, level int, cell pagestore.IOCell) {
+						switch c {
+						case pagestore.CompTIABTree, pagestore.CompTIAMVBT:
+							tiaHits += cell.Hits
+							tiaMisses += cell.Misses
+						case pagestore.CompUnknown:
+							t.Errorf("query %d: unattributed traffic at level %d: %+v", i, level, cell)
+						}
+					})
+					if tiaHits+tiaMisses != stats.TIAAccesses {
+						t.Errorf("query %d: tia cells sum to %d logical reads, flat counter says %d",
+							i, tiaHits+tiaMisses, stats.TIAAccesses)
+					}
+					if tiaMisses != stats.TIAPhysical {
+						t.Errorf("query %d: tia cells sum to %d misses, flat counter says %d",
+							i, tiaMisses, stats.TIAPhysical)
+					}
+					sum.Add(&stats.IO)
+				}
+				// Conservation: with the R-tree cells (in-memory, never buffer
+				// traffic) removed, the per-query breakdowns must sum exactly
+				// to the factory's attributed and flat windows, which aggregate
+				// the buffers' own Stats().
+				tiaSum := sum
+				tiaSum[pagestore.CompRTreeInternal] = [pagestore.MaxIOLevels]pagestore.IOCell{}
+				tiaSum[pagestore.CompRTreeLeaf] = [pagestore.MaxIOLevels]pagestore.IOCell{}
+				if got := fac.Breakdown(); got != tiaSum {
+					t.Errorf("factory breakdown delta does not equal the sum of per-query breakdowns:\n got %v\nwant %v", got, tiaSum)
+				}
+				if got, want := tiaSum.Total(), fac.Stats(); got != want {
+					t.Errorf("breakdown total %+v != factory stats %+v", got, want)
+				}
+				if tiaSum.Total().LogicalReads == 0 {
+					t.Error("conservation held but no TIA traffic was observed")
+				}
+			})
+		}
 	}
 }

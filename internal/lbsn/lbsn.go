@@ -316,6 +316,8 @@ type BuildOptions struct {
 	Cutoff int64
 	// Metrics instruments the built tree (see core.Options.Metrics).
 	Metrics *obs.Registry
+	// Traces captures finished queries (see core.Options.Traces).
+	Traces *obs.TraceRing
 }
 
 // Build indexes the data set's effective POIs into a TAR-tree.
@@ -332,6 +334,7 @@ func (d *Dataset) Build(o BuildOptions) (*core.Tree, error) {
 		EpochStart:  d.Spec.Start,
 		EpochLength: o.EpochLength,
 		Metrics:     o.Metrics,
+		Traces:      o.Traces,
 	})
 	if err != nil {
 		return nil, err

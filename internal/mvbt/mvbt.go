@@ -59,8 +59,11 @@ func (e entry) child() pagestore.PageID { return pagestore.PageID(e.val[0]) }
 func (e entry) liveAt(v int64) bool { return e.vstart <= v && v < e.vend }
 
 type node struct {
-	id      pagestore.PageID
-	leaf    bool
+	id   pagestore.PageID
+	leaf bool
+	// level is the node's height (1 = leaf); it is not stored on the page
+	// but threaded from callers so page I/O can be attributed per level.
+	level   int
 	entries []entry
 }
 
@@ -118,7 +121,7 @@ func New(buf *pagestore.Buffer) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := t.writeNode(&node{id: id, leaf: true}); err != nil {
+	if err := t.writeNode(&node{id: id, leaf: true, level: 1}); err != nil {
 		return nil, err
 	}
 	t.roots = []rootSpan{{vstart: math.MinInt64, vend: Live, id: id, height: 1}}
@@ -138,12 +141,18 @@ func (t *Tree) Now() int64 { return t.now }
 // version splits of the root occurred).
 func (t *Tree) NumRoots() int { return len(t.roots) }
 
-func (t *Tree) readNode(id pagestore.PageID) (*node, error) {
-	page, err := t.buf.Get(id)
+// tag attributes one page access to this tree's component at the given
+// node level (mvbt levels are 1-based; attribution levels are 0 = leaf).
+func tag(level int) pagestore.IOTag {
+	return pagestore.NewIOTag(pagestore.CompTIAMVBT, level-1)
+}
+
+func (t *Tree) readNode(id pagestore.PageID, level int) (*node, error) {
+	page, err := t.buf.GetTag(id, tag(level))
 	if err != nil {
 		return nil, err
 	}
-	n := &node{id: id}
+	n := &node{id: id, level: level}
 	n.leaf = page[0]&flagLeaf != 0
 	cnt := int(binary.LittleEndian.Uint16(page[2:4]))
 	if cnt > t.b {
@@ -181,7 +190,7 @@ func (t *Tree) writeNode(n *node) error {
 		binary.LittleEndian.PutUint64(page[off+32:], uint64(e.val[1]))
 		off += entrySize
 	}
-	return t.buf.Put(n.id, page)
+	return t.buf.PutTag(n.id, page, tag(n.level))
 }
 
 func (t *Tree) liveRoot() *rootSpan { return &t.roots[len(t.roots)-1] }
@@ -232,7 +241,7 @@ func (t *Tree) descend(v, key int64) ([]pathElem, error) {
 	path := make([]pathElem, 0, span.height)
 	id := span.id
 	for level := span.height; level >= 1; level-- {
-		n, err := t.readNode(id)
+		n, err := t.readNode(id, level)
 		if err != nil {
 			return nil, err
 		}
@@ -386,13 +395,14 @@ func splitByKey(entries []entry) ([]entry, []entry) {
 	return left, right
 }
 
-// newNodeFrom allocates and writes a node holding entries.
-func (t *Tree) newNodeFrom(leaf bool, entries []entry) (*node, error) {
+// newNodeFrom allocates and writes a node holding entries at the given
+// tree level.
+func (t *Tree) newNodeFrom(leaf bool, level int, entries []entry) (*node, error) {
 	id, err := t.buf.Alloc()
 	if err != nil {
 		return nil, err
 	}
-	n := &node{id: id, leaf: leaf, entries: entries}
+	n := &node{id: id, leaf: leaf, level: level, entries: entries}
 	return n, t.writeNode(n)
 }
 
@@ -458,7 +468,7 @@ func (t *Tree) restructure(parent, child *node, v int64) error {
 	// Strong version underflow: merge with the router-adjacent sibling.
 	if len(liveEntries) < t.svd {
 		if sibID, ok := siblingOf(parent, child.id, v, router); ok {
-			sib, err := t.readNode(sibID)
+			sib, err := t.readNode(sibID, child.level)
 			if err != nil {
 				return err
 			}
@@ -483,7 +493,7 @@ func (t *Tree) restructure(parent, child *node, v int64) error {
 	}
 
 	addChild := func(router int64, leaf bool, entries []entry) error {
-		nn, err := t.newNodeFrom(leaf, entries)
+		nn, err := t.newNodeFrom(leaf, child.level, entries)
 		if err != nil {
 			return err
 		}
@@ -520,7 +530,7 @@ func (t *Tree) fixRoot(root *node, v int64) error {
 
 	if len(liveEntries) == 0 {
 		// Degenerate: everything is dead. Start a fresh empty leaf root.
-		nn, err := t.newNodeFrom(true, nil)
+		nn, err := t.newNodeFrom(true, 1, nil)
 		if err != nil {
 			return err
 		}
@@ -530,15 +540,15 @@ func (t *Tree) fixRoot(root *node, v int64) error {
 
 	if len(liveEntries) > t.svo {
 		l, r := splitByKey(liveEntries)
-		ln, err := t.newNodeFrom(root.leaf, l)
+		ln, err := t.newNodeFrom(root.leaf, root.level, l)
 		if err != nil {
 			return err
 		}
-		rn, err := t.newNodeFrom(root.leaf, r)
+		rn, err := t.newNodeFrom(root.leaf, root.level, r)
 		if err != nil {
 			return err
 		}
-		newRoot, err := t.newNodeFrom(false, []entry{
+		newRoot, err := t.newNodeFrom(false, root.level+1, []entry{
 			{key: math.MinInt64, vstart: v, vend: Live, val: Value{int64(ln.id), 0}},
 			{key: r[0].key, vstart: v, vend: Live, val: Value{int64(rn.id), 0}},
 		})
@@ -549,7 +559,7 @@ func (t *Tree) fixRoot(root *node, v int64) error {
 		return nil
 	}
 
-	nn, err := t.newNodeFrom(root.leaf, liveEntries)
+	nn, err := t.newNodeFrom(root.leaf, root.level, liveEntries)
 	if err != nil {
 		return err
 	}
@@ -562,7 +572,7 @@ func (t *Tree) Get(v, key int64) (Value, bool, error) {
 	span := t.rootFor(v)
 	id := span.id
 	for level := span.height; level > 1; level-- {
-		n, err := t.readNode(id)
+		n, err := t.readNode(id, level)
 		if err != nil {
 			return Value{}, false, err
 		}
@@ -572,7 +582,7 @@ func (t *Tree) Get(v, key int64) (Value, bool, error) {
 		}
 		id = n.entries[i].child()
 	}
-	n, err := t.readNode(id)
+	n, err := t.readNode(id, 1)
 	if err != nil {
 		return Value{}, false, err
 	}
@@ -603,7 +613,7 @@ func (t *Tree) ScanAt(v, lo, hi int64, fn func(key int64, val Value) bool) error
 
 // collect gathers live leaf entries in [lo, hi] at version v.
 func (t *Tree) collect(id pagestore.PageID, level int, v, lo, hi int64, out *[]entry) error {
-	n, err := t.readNode(id)
+	n, err := t.readNode(id, level)
 	if err != nil {
 		return err
 	}

@@ -73,6 +73,9 @@ func TestWriteToPrometheusFormat(t *testing.T) {
 	h.Observe(0.05)
 	h.Observe(0.5)
 	h.Observe(5)
+	lh := r.Histogram(`op_seconds{method="probe"}`, []float64{1})
+	lh.Observe(0.5)
+	lh.Observe(2)
 	r.CounterFunc("cb_total", func() int64 { return 42 })
 
 	var b strings.Builder
@@ -92,6 +95,13 @@ func TestWriteToPrometheusFormat(t *testing.T) {
 		`lat_seconds_bucket{le="+Inf"} 3`,
 		"lat_seconds_sum 5.55",
 		"lat_seconds_count 3",
+		// Labeled histograms must merge the label set into every series:
+		// buckets get le= appended, _sum and _count keep the labels alone.
+		"# TYPE op_seconds histogram",
+		`op_seconds_bucket{method="probe",le="1"} 1`,
+		`op_seconds_bucket{method="probe",le="+Inf"} 2`,
+		`op_seconds_sum{method="probe"} 2.5`,
+		`op_seconds_count{method="probe"} 2`,
 		"cb_total 42",
 	} {
 		if !strings.Contains(out, want) {

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+)
+
+// IOLine is one attributed I/O row of a query trace: the page traffic one
+// (component, level) pair caused. The component is a neutral string
+// (internal/obs depends on nothing), produced by core from the pagestore
+// breakdown.
+type IOLine struct {
+	Component string `json:"component"`
+	Level     int    `json:"level"`
+	Hits      int64  `json:"hits"`
+	Misses    int64  `json:"misses"`
+	Evictions int64  `json:"evictions,omitempty"`
+}
+
+// TraceRecord is one finished query as kept by a TraceRing: identity,
+// timing, the aggregated spans (empty when the query ran untraced) and the
+// per-component I/O breakdown.
+type TraceRecord struct {
+	// ID is assigned by the ring: a process-wide sequence number, so two
+	// records can be correlated across the recent and slowest views.
+	ID      uint64        `json:"id"`
+	Query   string        `json:"query"`
+	Start   time.Time     `json:"start"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+	Results int           `json:"results"`
+	Err     string        `json:"error,omitempty"`
+	Spans   []Span        `json:"spans,omitempty"`
+	IO      []IOLine      `json:"io,omitempty"`
+}
+
+// TraceRing keeps the N most recent and the N slowest query records, and
+// optionally logs queries slower than a threshold. Like *Trace, a nil
+// *TraceRing is the disabled state: every method no-ops, so query paths
+// pay one pointer test when capture is off.
+//
+// A TraceRing is safe for concurrent use.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []TraceRecord // circular: buf[(pos+i) % cap] oldest → newest
+	pos  int           // next write index
+	n    int           // records stored (≤ cap)
+	next uint64        // next ID
+
+	slowest []TraceRecord // sorted by Elapsed descending, ≤ cap entries
+
+	slowLog       *slog.Logger
+	slowThreshold time.Duration
+}
+
+// NewTraceRing creates a ring keeping the n most recent and n slowest
+// records. n < 1 is treated as 1.
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{buf: make([]TraceRecord, n)}
+}
+
+// Cap returns the ring capacity (0 on a nil ring).
+func (r *TraceRing) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Len returns the number of records currently kept in the recent view.
+func (r *TraceRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// SetSlowLog makes the ring log every record with Elapsed >= threshold to
+// l at warn level. A nil logger or on a nil ring disables slow logging.
+func (r *TraceRing) SetSlowLog(l *slog.Logger, threshold time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.slowLog = l
+	r.slowThreshold = threshold
+	r.mu.Unlock()
+}
+
+// Record stores rec, assigning and returning its ID. The oldest record
+// falls out of the recent view once the ring is full; the slowest view
+// keeps the top records by Elapsed regardless of age.
+func (r *TraceRing) Record(rec TraceRecord) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	r.next++
+	rec.ID = r.next
+	r.buf[r.pos] = rec
+	r.pos = (r.pos + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	// Insert into the slowest view (descending Elapsed, stable for ties).
+	i := sort.Search(len(r.slowest), func(i int) bool {
+		return r.slowest[i].Elapsed < rec.Elapsed
+	})
+	if i < len(r.buf) {
+		r.slowest = append(r.slowest, TraceRecord{})
+		copy(r.slowest[i+1:], r.slowest[i:])
+		r.slowest[i] = rec
+		if len(r.slowest) > len(r.buf) {
+			r.slowest = r.slowest[:len(r.buf)]
+		}
+	}
+	log, threshold := r.slowLog, r.slowThreshold
+	r.mu.Unlock()
+
+	if log != nil && rec.Elapsed >= threshold {
+		attrs := []any{
+			slog.Uint64("id", rec.ID),
+			slog.String("query", rec.Query),
+			slog.Duration("elapsed", rec.Elapsed),
+			slog.Int("results", rec.Results),
+		}
+		if rec.Err != "" {
+			attrs = append(attrs, slog.String("error", rec.Err))
+		}
+		log.Warn("slow query", attrs...)
+	}
+	return rec.ID
+}
+
+// Recent returns the kept records newest first.
+func (r *TraceRing) Recent() []TraceRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceRecord, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.pos-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Slowest returns the slowest kept records, slowest first.
+func (r *TraceRing) Slowest() []TraceRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]TraceRecord(nil), r.slowest...)
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceRingIsNoop(t *testing.T) {
+	var r *TraceRing
+	if r.Cap() != 0 || r.Len() != 0 {
+		t.Fatal("nil ring reports capacity")
+	}
+	r.SetSlowLog(slog.Default(), time.Second) // must not panic
+	if id := r.Record(TraceRecord{Query: "q"}); id != 0 {
+		t.Fatalf("nil ring assigned ID %d", id)
+	}
+	if r.Recent() != nil || r.Slowest() != nil {
+		t.Fatal("nil ring has records")
+	}
+}
+
+// TestTraceRingEvictionOrder fills the ring past capacity and checks the
+// recent view keeps exactly the newest records, newest first, while IDs
+// stay a monotone sequence.
+func TestTraceRingEvictionOrder(t *testing.T) {
+	r := NewTraceRing(3)
+	if r.Cap() != 3 {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+	for i := 1; i <= 5; i++ {
+		id := r.Record(TraceRecord{
+			Query:   fmt.Sprintf("q%d", i),
+			Elapsed: time.Duration(i) * time.Millisecond,
+		})
+		if id != uint64(i) {
+			t.Fatalf("record %d got ID %d", i, id)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	recent := r.Recent()
+	var got []string
+	for _, rec := range recent {
+		got = append(got, rec.Query)
+	}
+	if want := []string{"q5", "q4", "q3"}; fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("recent = %v, want %v", got, want)
+	}
+}
+
+// TestTraceRingSlowest checks the slowest view ranks by Elapsed and
+// survives eviction from the recent view.
+func TestTraceRingSlowest(t *testing.T) {
+	r := NewTraceRing(3)
+	// The slowest query arrives first and is then pushed out of the recent
+	// view by four faster ones.
+	for i, d := range []time.Duration{90, 10, 20, 40, 30} {
+		r.Record(TraceRecord{Query: fmt.Sprintf("q%d", i), Elapsed: d * time.Millisecond})
+	}
+	slow := r.Slowest()
+	if len(slow) != 3 {
+		t.Fatalf("slowest has %d records, want 3", len(slow))
+	}
+	var got []time.Duration
+	for _, rec := range slow {
+		got = append(got, rec.Elapsed/time.Millisecond)
+	}
+	if fmt.Sprint(got) != fmt.Sprint([]time.Duration{90, 40, 30}) {
+		t.Errorf("slowest elapsed = %v, want [90 40 30]", got)
+	}
+	if slow[0].ID != 1 {
+		t.Errorf("slowest record ID = %d, want the evicted first record", slow[0].ID)
+	}
+	// It must be a copy: mutating the result leaves the ring intact.
+	slow[0].Query = "mutated"
+	if r.Slowest()[0].Query == "mutated" {
+		t.Error("Slowest returned an aliased slice")
+	}
+}
+
+func TestTraceRingSlowLog(t *testing.T) {
+	r := NewTraceRing(4)
+	var buf bytes.Buffer
+	r.SetSlowLog(slog.New(slog.NewTextHandler(&buf, nil)), 50*time.Millisecond)
+	r.Record(TraceRecord{Query: "fast", Elapsed: 10 * time.Millisecond})
+	r.Record(TraceRecord{Query: "slow", Elapsed: 80 * time.Millisecond, Err: "boom"})
+	out := buf.String()
+	if strings.Contains(out, "fast") {
+		t.Errorf("fast query logged: %s", out)
+	}
+	for _, want := range []string{"slow query", "query=slow", "error=boom", "id=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slow log missing %q: %s", want, out)
+		}
+	}
+	// Disabling the log stops emission.
+	r.SetSlowLog(nil, 0)
+	buf.Reset()
+	r.Record(TraceRecord{Query: "slow2", Elapsed: time.Second})
+	if buf.Len() != 0 {
+		t.Errorf("disabled slow log still wrote: %s", buf.String())
+	}
+}
+
+func TestTraceRecordJSON(t *testing.T) {
+	rec := TraceRecord{
+		ID:      7,
+		Query:   "knnta(x=1, y=2, k=3, a0=0.5, iq=[0,10))",
+		Elapsed: 1500 * time.Microsecond,
+		Results: 3,
+		IO:      []IOLine{{Component: "rtree-leaf", Hits: 4, Misses: 1}},
+	}
+	blob, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(blob)
+	for _, want := range []string{`"id":7`, `"elapsed_ns":1500000`, `"component":"rtree-leaf"`, `"misses":1`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON %s missing %s", s, want)
+		}
+	}
+	if strings.Contains(s, "spans") || strings.Contains(s, "error") {
+		t.Errorf("JSON %s has empty optional fields", s)
+	}
+}
+
+// TestTraceRingConcurrent hammers one ring from writers and readers — the
+// acceptance check under -race.
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(8)
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	r.SetSlowLog(slog.New(slog.NewTextHandler(lockedWriter{&mu, &buf}, nil)), time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Record(TraceRecord{
+					Query:   "q",
+					Elapsed: time.Duration(i%5) * time.Millisecond,
+				})
+				if i%50 == 0 {
+					_ = r.Recent()
+					_ = r.Slowest()
+					_ = r.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != 8 {
+		t.Fatalf("len = %d, want 8", r.Len())
+	}
+	if got := r.Recent()[0].ID; got == 0 {
+		t.Fatal("records missing IDs")
+	}
+	if len(r.Slowest()) != 8 {
+		t.Fatalf("slowest has %d records", len(r.Slowest()))
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	b  *bytes.Buffer
+}
+
+func (w lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}

@@ -66,11 +66,39 @@ func TestTraceConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
 				tr.Observe("hot", time.Microsecond)
+				if i%10 == 0 {
+					tr.StartSpan("timed")()
+				}
+			}
+		}()
+	}
+	// Readers race with the writers: Spans and String must stay consistent
+	// snapshots under -race.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				for _, s := range tr.Spans() {
+					if s.Count < 0 || s.Total < 0 {
+						t.Error("inconsistent span snapshot")
+						return
+					}
+				}
+				_ = tr.String()
 			}
 		}()
 	}
 	wg.Wait()
-	if s := tr.Spans(); len(s) != 1 || s[0].Count != 4000 {
-		t.Fatalf("spans = %+v", s)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	counts := map[string]int64{}
+	for _, s := range spans {
+		counts[s.Name] = s.Count
+	}
+	if counts["hot"] != 4000 || counts["timed"] != 400 {
+		t.Fatalf("span counts = %v, want hot=4000 timed=400", counts)
 	}
 }

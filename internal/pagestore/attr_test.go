@@ -1,0 +1,200 @@
+package pagestore
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestIOTagClamp(t *testing.T) {
+	if tag := NewIOTag(CompTIABTree, -3); tag.Level != 0 {
+		t.Errorf("negative level clamped to %d, want 0", tag.Level)
+	}
+	if tag := NewIOTag(CompTIABTree, MaxIOLevels+5); tag.Level != MaxIOLevels-1 {
+		t.Errorf("oversized level clamped to %d, want %d", tag.Level, MaxIOLevels-1)
+	}
+	if tag := NewIOTag(Component(200), 1); tag.Comp != CompUnknown {
+		t.Errorf("invalid component clamped to %v, want unknown", tag.Comp)
+	}
+	// A hand-built out-of-range tag must still land inside the array.
+	var b IOBreakdown
+	b.AddRead(IOTag{Comp: Component(250), Level: 250}, true)
+	if got := b[CompUnknown][MaxIOLevels-1].Hits; got != 1 {
+		t.Errorf("raw out-of-range tag landed wrong: %+v", b)
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	want := map[Component]string{
+		CompUnknown:       "unknown",
+		CompRTreeInternal: "rtree-internal",
+		CompRTreeLeaf:     "rtree-leaf",
+		CompTIABTree:      "tia-btree",
+		CompTIAMVBT:       "tia-mvbt",
+		Component(99):     "unknown",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Component(%d).String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}
+
+// TestAttrSinkTaggedBuffer drives one buffer with tagged and untagged
+// traffic, forcing evictions and dirty write-backs, and checks every
+// conservation identity: breakdown total == sink snapshot == buffer stats,
+// with each event in the cell of its tag (evictions under the tag of the
+// access that forced them, untagged traffic under CompUnknown).
+func TestAttrSinkTaggedBuffer(t *testing.T) {
+	f := NewMemFile(64)
+	var sink AttrCounterSink
+	b := NewBufferWithSinks(f, 2, &sink)
+
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		id, err := b.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	btag := NewIOTag(CompTIABTree, 0)
+	mtag := NewIOTag(CompTIAMVBT, 1)
+	data := make([]byte, 64)
+
+	// Two tagged dirty pages fill the buffer.
+	if err := b.PutTag(ids[0], data, btag); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PutTag(ids[1], data, mtag); err != nil {
+		t.Fatal(err)
+	}
+	// Loading a third page under btag evicts ids[0] (dirty): the eviction
+	// and its physical write-back must be attributed to btag.
+	if _, err := b.GetTag(ids[2], btag); err != nil {
+		t.Fatal(err)
+	}
+	// A hit on the mvbt page, then untagged traffic.
+	if _, err := b.GetTag(ids[1], mtag); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get(ids[2]); err != nil { // untagged hit
+		t.Fatal(err)
+	}
+
+	bd := sink.Breakdown()
+	if got, want := bd.Total(), sink.Snapshot(); got != want {
+		t.Fatalf("breakdown total %+v != sink snapshot %+v", got, want)
+	}
+	if got, want := sink.Snapshot(), b.Stats(); got != want {
+		t.Fatalf("sink snapshot %+v != buffer stats %+v", got, want)
+	}
+
+	bcell := bd[CompTIABTree][0]
+	if bcell.Misses != 1 || bcell.LogicalWrites != 1 || bcell.PhysicalWrites != 1 || bcell.Evictions != 1 {
+		t.Errorf("btree cell = %+v, want 1 miss, 1 logical + 1 physical write, 1 eviction", bcell)
+	}
+	mcell := bd[CompTIAMVBT][1]
+	if mcell.Hits != 1 || mcell.LogicalWrites != 1 {
+		t.Errorf("mvbt cell = %+v, want 1 hit, 1 logical write", mcell)
+	}
+	ucell := bd[CompUnknown][0]
+	if ucell.Hits != 1 {
+		t.Errorf("unknown cell = %+v, want the untagged hit", ucell)
+	}
+}
+
+// TestAttrSinkSharedBuffers checks the aggregate identity when one sink is
+// shared by several buffers: the sum of the buffers' own Stats equals both
+// the sink snapshot and the breakdown total.
+func TestAttrSinkSharedBuffers(t *testing.T) {
+	f := NewMemFile(64)
+	var sink AttrCounterSink
+	b1 := NewBufferWithSinks(f, 1, &sink)
+	b2 := NewBufferWithSinks(f, 1, &sink)
+	data := make([]byte, 64)
+	tagA := NewIOTag(CompTIABTree, 0)
+	tagB := NewIOTag(CompTIABTree, 1)
+
+	for i := 0; i < 4; i++ {
+		id, err := b1.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b1.PutTag(id, data, tagA); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b2.GetTag(id, tagB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b1.Flush(); err != nil { // untagged physical writes
+		t.Fatal(err)
+	}
+	sum := b1.Stats().Add(b2.Stats())
+	if got := sink.Snapshot(); got != sum {
+		t.Fatalf("sink snapshot %+v != summed buffer stats %+v", got, sum)
+	}
+	bd := sink.Breakdown()
+	if got := bd.Total(); got != sum {
+		t.Fatalf("breakdown total %+v != summed buffer stats %+v", got, sum)
+	}
+	if bd[CompTIABTree][1].Misses == 0 {
+		t.Error("reads through b2 not attributed to level 1")
+	}
+	if bd[CompUnknown][0].PhysicalWrites == 0 {
+		t.Error("flush write-backs not attributed to unknown")
+	}
+}
+
+func TestIOBreakdownSubAddComponent(t *testing.T) {
+	var a, b IOBreakdown
+	tag := NewIOTag(CompRTreeInternal, 2)
+	a.AddRead(tag, true)
+	a.AddRead(tag, false)
+	a.AddWrite(tag, true)
+	a.AddEviction(tag)
+	b.AddRead(tag, true)
+	d := a.Sub(b)
+	want := IOCell{Misses: 1, PhysicalWrites: 1, Evictions: 1}
+	if got := d[CompRTreeInternal][2]; got != want {
+		t.Errorf("Sub cell = %+v, want %+v", got, want)
+	}
+	d.Add(&b)
+	if got := d.Component(CompRTreeInternal); got != (IOCell{Hits: 1, Misses: 1, PhysicalWrites: 1, Evictions: 1}) {
+		t.Errorf("Component fold = %+v", got)
+	}
+	if d.IsZero() {
+		t.Error("IsZero on non-empty breakdown")
+	}
+	var zero IOBreakdown
+	if !zero.IsZero() {
+		t.Error("zero breakdown not IsZero")
+	}
+}
+
+func TestIOBreakdownJSON(t *testing.T) {
+	var b IOBreakdown
+	b.AddRead(NewIOTag(CompRTreeLeaf, 0), true)
+	b.AddRead(NewIOTag(CompTIABTree, 1), false)
+	out, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	for _, want := range []string{`"component":"rtree-leaf"`, `"component":"tia-btree"`, `"level":1`, `"misses":1`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON %s missing %s", s, want)
+		}
+	}
+	if strings.Contains(s, "tia-mvbt") {
+		t.Errorf("JSON %s contains zero cells", s)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(out, &decoded); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+	if len(decoded) != 2 {
+		t.Errorf("JSON has %d rows, want 2", len(decoded))
+	}
+}

@@ -360,6 +360,9 @@ type Buffer struct {
 	tail   *frame
 	stats  Stats
 	sinks  []Sink
+	// tagSinks caches the TagSink assertion per sink (nil where the sink
+	// is untagged), so the per-access fan-out costs no type switches.
+	tagSinks []TagSink
 	// scratch holds the pass-through page when slots == 0.
 	scratch []byte
 }
@@ -384,13 +387,24 @@ func NewBufferWithSinks(f File, slots int, sinks ...Sink) *Buffer {
 	if slots < 0 {
 		panic("pagestore: negative slot count")
 	}
-	return &Buffer{
+	b := &Buffer{
 		file:    f,
 		slots:   slots,
 		frames:  make(map[PageID]*frame, slots),
-		sinks:   sinks,
 		scratch: make([]byte, f.PageSize()),
 	}
+	for _, s := range sinks {
+		b.attachSink(s)
+	}
+	return b
+}
+
+// attachSink appends s, caching whether it accepts attributed events.
+// Callers hold b.mu (or the buffer is not yet shared).
+func (b *Buffer) attachSink(s Sink) {
+	b.sinks = append(b.sinks, s)
+	ts, _ := s.(TagSink)
+	b.tagSinks = append(b.tagSinks, ts)
 }
 
 // AddSink attaches another sink; subsequent traffic is reported to it. The
@@ -402,7 +416,7 @@ func (b *Buffer) AddSink(s Sink) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.sinks = append(b.sinks, s)
+	b.attachSink(s)
 }
 
 // File returns the underlying page file.
@@ -411,32 +425,46 @@ func (b *Buffer) File() File { return b.file }
 // PageSize returns the page size of the underlying file.
 func (b *Buffer) PageSize() int { return b.file.PageSize() }
 
-// count helpers keep the buffer's own stats and the attached sinks in step.
-func (b *Buffer) countRead(hit bool) {
+// count helpers keep the buffer's own stats and the attached sinks in
+// step. Tag-aware sinks receive the attribution tag; everyone else gets
+// the plain event.
+func (b *Buffer) countRead(tag IOTag, hit bool) {
 	b.stats.LogicalReads++
 	if !hit {
 		b.stats.PhysicalReads++
 	}
-	for _, s := range b.sinks {
-		s.PageRead(hit)
+	for i, s := range b.sinks {
+		if ts := b.tagSinks[i]; ts != nil {
+			ts.PageReadTag(tag, hit)
+		} else {
+			s.PageRead(hit)
+		}
 	}
 }
 
-func (b *Buffer) countWrite(physical bool) {
+func (b *Buffer) countWrite(tag IOTag, physical bool) {
 	if physical {
 		b.stats.PhysicalWrites++
 	} else {
 		b.stats.LogicalWrites++
 	}
-	for _, s := range b.sinks {
-		s.PageWrite(physical)
+	for i, s := range b.sinks {
+		if ts := b.tagSinks[i]; ts != nil {
+			ts.PageWriteTag(tag, physical)
+		} else {
+			s.PageWrite(physical)
+		}
 	}
 }
 
-func (b *Buffer) countEviction(dirty bool) {
+func (b *Buffer) countEviction(tag IOTag, dirty bool) {
 	b.stats.Evictions++
-	for _, s := range b.sinks {
-		s.PageEvicted(dirty)
+	for i, s := range b.sinks {
+		if ts := b.tagSinks[i]; ts != nil {
+			ts.PageEvictedTag(tag, dirty)
+		} else {
+			s.PageEvicted(dirty)
+		}
 	}
 }
 
@@ -473,8 +501,10 @@ func (b *Buffer) touch(fr *frame) {
 	b.pushFront(fr)
 }
 
-// evict flushes and removes the least recently used frame.
-func (b *Buffer) evict() error {
+// evict flushes and removes the least recently used frame. The eviction
+// (and any dirty write-back) is attributed to the tag of the access that
+// forced it, since evicting is a side effect of loading another page.
+func (b *Buffer) evict(tag IOTag) error {
 	fr := b.tail
 	if fr == nil {
 		return nil
@@ -483,21 +513,21 @@ func (b *Buffer) evict() error {
 		if err := b.file.WritePage(fr.id, fr.data); err != nil {
 			return err
 		}
-		b.countWrite(true)
+		b.countWrite(tag, true)
 	}
 	b.unlink(fr)
 	delete(b.frames, fr.id)
-	b.countEviction(fr.dirty)
+	b.countEviction(tag, fr.dirty)
 	return nil
 }
 
-func (b *Buffer) load(id PageID, readThrough bool) (*frame, error) {
+func (b *Buffer) load(id PageID, readThrough bool, tag IOTag) (*frame, error) {
 	if fr, ok := b.frames[id]; ok {
 		b.touch(fr)
 		return fr, nil
 	}
 	for len(b.frames) >= b.slots && len(b.frames) > 0 {
-		if err := b.evict(); err != nil {
+		if err := b.evict(tag); err != nil {
 			return nil, err
 		}
 	}
@@ -517,21 +547,26 @@ func (b *Buffer) load(id PageID, readThrough bool) (*frame, error) {
 // Get returns the content of page id. The returned slice is only valid
 // until the next Buffer call; callers must copy anything they retain.
 func (b *Buffer) Get(id PageID) ([]byte, error) {
+	return b.GetTag(id, IOTag{})
+}
+
+// GetTag is Get with an attribution tag reported to tag-aware sinks.
+func (b *Buffer) GetTag(id PageID, tag IOTag) ([]byte, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.slots == 0 {
 		if err := b.file.ReadPage(id, b.scratch); err != nil {
 			return nil, err
 		}
-		b.countRead(false)
+		b.countRead(tag, false)
 		return b.scratch, nil
 	}
 	_, hit := b.frames[id]
-	fr, err := b.load(id, true)
+	fr, err := b.load(id, true, tag)
 	if err != nil {
 		return nil, err
 	}
-	b.countRead(hit)
+	b.countRead(tag, hit)
 	return fr.data, nil
 }
 
@@ -539,17 +574,22 @@ func (b *Buffer) Get(id PageID) ([]byte, error) {
 // deferred until eviction or Flush (write-back); without slots it goes
 // straight to the file.
 func (b *Buffer) Put(id PageID, data []byte) error {
+	return b.PutTag(id, data, IOTag{})
+}
+
+// PutTag is Put with an attribution tag reported to tag-aware sinks.
+func (b *Buffer) PutTag(id PageID, data []byte, tag IOTag) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.countWrite(false)
+	b.countWrite(tag, false)
 	if b.slots == 0 {
 		if err := b.file.WritePage(id, data); err != nil {
 			return err
 		}
-		b.countWrite(true)
+		b.countWrite(tag, true)
 		return nil
 	}
-	fr, err := b.load(id, false)
+	fr, err := b.load(id, false, tag)
 	if err != nil {
 		return err
 	}
@@ -585,7 +625,7 @@ func (b *Buffer) Flush() error {
 			if err := b.file.WritePage(fr.id, fr.data); err != nil {
 				return err
 			}
-			b.countWrite(true)
+			b.countWrite(IOTag{}, true)
 			fr.dirty = false
 		}
 	}
@@ -637,7 +677,7 @@ func (b *Buffer) Resize(slots int) error {
 	defer b.mu.Unlock()
 	b.slots = slots
 	for len(b.frames) > slots {
-		if err := b.evict(); err != nil {
+		if err := b.evict(IOTag{}); err != nil {
 			return err
 		}
 	}

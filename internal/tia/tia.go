@@ -154,6 +154,10 @@ type Factory interface {
 	New() (Index, error)
 	// Stats returns combined page traffic of every index created so far.
 	Stats() pagestore.Stats
+	// Breakdown returns the same traffic attributed by (component, level).
+	// Unlike Stats it walks every breakdown cell, so callers read it once
+	// per query, not per probe. Breakdown().Total() == Stats() always.
+	Breakdown() pagestore.IOBreakdown
 	ResetStats()
 	// SetBufferSlots changes the per-index buffer size for indexes created
 	// afterwards (the collective-processing experiment uses zero slots).
@@ -317,6 +321,9 @@ func (*MemFactory) New() (Index, error) { return NewMem(), nil }
 // Stats implements Factory.
 func (*MemFactory) Stats() pagestore.Stats { return pagestore.Stats{} }
 
+// Breakdown implements Factory: memory indexes produce no page traffic.
+func (*MemFactory) Breakdown() pagestore.IOBreakdown { return pagestore.IOBreakdown{} }
+
 // ResetStats implements Factory.
 func (*MemFactory) ResetStats() {}
 
@@ -377,12 +384,13 @@ func (b *BTree) Destroy() error { return b.tree.Destroy() }
 // gets its own small buffer pool, matching the paper's "each TIA is
 // assigned a maximum of 10 buffer slots".
 type BTreeFactory struct {
-	file  pagestore.File
-	slots int
-	bufs  []*pagestore.Buffer
-	sink  pagestore.CounterSink // O(1) combined stats across all buffers
-	base  pagestore.Stats       // totals captured at the last ResetStats
-	extra []pagestore.Sink      // attached observers (metrics registries)
+	file     pagestore.File
+	slots    int
+	bufs     []*pagestore.Buffer
+	sink     pagestore.AttrCounterSink // O(1) combined stats across all buffers
+	base     pagestore.Stats           // totals captured at the last ResetStats
+	attrBase pagestore.IOBreakdown     // breakdown captured at the last ResetStats
+	extra    []pagestore.Sink          // attached observers (metrics registries)
 }
 
 // NewBTreeFactory creates a factory over an in-memory simulated disk with
@@ -427,9 +435,16 @@ func (f *BTreeFactory) Stats() pagestore.Stats {
 	return f.sink.Snapshot().Sub(f.base)
 }
 
+// Breakdown implements Factory: combined traffic attributed by
+// (component, level) since the last ResetStats.
+func (f *BTreeFactory) Breakdown() pagestore.IOBreakdown {
+	return f.sink.Breakdown().Sub(f.attrBase)
+}
+
 // ResetStats implements Factory.
 func (f *BTreeFactory) ResetStats() {
 	f.base = f.sink.Snapshot()
+	f.attrBase = f.sink.Breakdown()
 }
 
 // SetBufferSlots implements Factory. It also resizes existing buffers so an
@@ -509,12 +524,13 @@ func (m *MVBT) Destroy() error {
 
 // MVBTFactory creates MVBT indexes sharing one page file.
 type MVBTFactory struct {
-	file  pagestore.File
-	slots int
-	bufs  []*pagestore.Buffer
-	sink  pagestore.CounterSink
-	base  pagestore.Stats
-	extra []pagestore.Sink
+	file     pagestore.File
+	slots    int
+	bufs     []*pagestore.Buffer
+	sink     pagestore.AttrCounterSink
+	base     pagestore.Stats
+	attrBase pagestore.IOBreakdown
+	extra    []pagestore.Sink
 }
 
 // NewMVBTFactory creates a factory over an in-memory simulated disk.
@@ -550,9 +566,15 @@ func (f *MVBTFactory) Stats() pagestore.Stats {
 	return f.sink.Snapshot().Sub(f.base)
 }
 
+// Breakdown implements Factory.
+func (f *MVBTFactory) Breakdown() pagestore.IOBreakdown {
+	return f.sink.Breakdown().Sub(f.attrBase)
+}
+
 // ResetStats implements Factory.
 func (f *MVBTFactory) ResetStats() {
 	f.base = f.sink.Snapshot()
+	f.attrBase = f.sink.Breakdown()
 }
 
 // SetBufferSlots implements Factory.
