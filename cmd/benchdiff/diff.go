@@ -60,6 +60,9 @@ type finding struct {
 	Tol        float64
 	Regression bool
 	Missing    bool // metric present in the baseline, absent in the run
+	// HigherBetter marks throughput-style samples (:qps), where a drop is
+	// the regression and growth is the improvement.
+	HigherBetter bool
 }
 
 func (f finding) String() string {
@@ -67,9 +70,12 @@ func (f finding) String() string {
 		return fmt.Sprintf("MISSING  %-60s baseline %.6g", f.Name, f.Baseline)
 	}
 	verdict := "ok"
-	if f.Regression {
+	switch {
+	case f.Regression:
 		verdict = "REGRESSION"
-	} else if f.Baseline > 0 && f.Current < f.Baseline/f.Tol {
+	case f.HigherBetter && f.Baseline > 0 && f.Current > f.Baseline*f.Tol:
+		verdict = "improved"
+	case !f.HigherBetter && f.Baseline > 0 && f.Current < f.Baseline/f.Tol:
 		verdict = "improved"
 	}
 	return fmt.Sprintf("%-10s %-60s %.6g -> %.6g (tol ×%.2f)",
@@ -132,6 +138,17 @@ func compare(base, cur snapshot, opt options) []finding {
 				out = append(out, finding{
 					Name: name + q.suffix, Baseline: q.base, Current: q.cur,
 					Tol: opt.LatencyTol, Regression: regressed(q.base, q.cur, opt.LatencyTol),
+				})
+			}
+			// Throughput: count/sum is the aggregate queries-per-second the
+			// histogram implies. Higher is better, so the regression test is
+			// inverted: fail when the run fell below baseline/tol.
+			if bh.Sum > 0 && ch.Sum > 0 {
+				bq, cq := float64(bh.Count)/bh.Sum, float64(ch.Count)/ch.Sum
+				out = append(out, finding{
+					Name: name + ":qps", Baseline: bq, Current: cq,
+					Tol: opt.LatencyTol, HigherBetter: true,
+					Regression: bq > 0 && cq < bq/opt.LatencyTol,
 				})
 			}
 			continue

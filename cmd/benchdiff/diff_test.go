@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -91,14 +92,72 @@ func TestCompareLatencyRegression(t *testing.T) {
 	cur.Metrics[`bench_query_latency_seconds{method="TAR-tree"}`], _ = json.Marshal(map[string]any{
 		"count": 20, "sum": 0.3, "p50": 0.02, "p95": 0.05, "p99": 0.08, // 5× slower
 	})
-	if n := countRegressions(compare(base, cur, defaultOpts())); n != 2 { // p50 and p95
-		t.Fatalf("want 2 latency regressions, got %d", n)
+	if n := countRegressions(compare(base, cur, defaultOpts())); n != 3 { // p50, p95, qps
+		t.Fatalf("want 3 latency regressions, got %d", n)
 	}
 	// -skip-latency must ignore them.
 	opt := defaultOpts()
 	opt.SkipLatency = true
 	if n := countRegressions(compare(base, cur, opt)); n != 0 {
 		t.Fatal("skip-latency still flagged latency")
+	}
+}
+
+// TestCompareThroughputDelta covers the :qps sample derived from latency
+// histograms: count/sum in queries per second, with the regression test
+// inverted (a throughput DROP fails, growth is an improvement).
+func TestCompareThroughputDelta(t *testing.T) {
+	const key = `bench_query_latency_seconds{method="TAR-tree"}`
+	base := testSnapshot(t) // count 20 / sum 0.1 → 200 qps
+
+	// Same work, 40% more wall time → 143 qps, below 200/1.30: only the
+	// qps sample regresses (quantiles kept inside their tolerance).
+	cur := testSnapshot(t)
+	cur.Metrics[key], _ = json.Marshal(map[string]any{
+		"count": 20, "sum": 0.14, "p50": 0.0048, "p95": 0.0108, "p99": 0.014,
+	})
+	fs := compare(base, cur, defaultOpts())
+	var qps *finding
+	for i := range fs {
+		if fs[i].Name == key+":qps" {
+			qps = &fs[i]
+		}
+	}
+	if qps == nil {
+		t.Fatalf("no :qps sample in %v", fs)
+	}
+	if !qps.Regression || !qps.HigherBetter {
+		t.Errorf("throughput drop not flagged: %+v", qps)
+	}
+	if qps.Baseline != 200 || qps.Current < 142 || qps.Current > 144 {
+		t.Errorf("qps values = %.6g -> %.6g, want 200 -> ~142.9", qps.Baseline, qps.Current)
+	}
+	if n := countRegressions(fs); n != 1 {
+		t.Errorf("want only the qps regression, got %d: %v", n, fs)
+	}
+
+	// Faster run: qps grows, nothing regresses, the sample reads improved.
+	fast := testSnapshot(t)
+	fast.Metrics[key], _ = json.Marshal(map[string]any{
+		"count": 20, "sum": 0.05, "p50": 0.002, "p95": 0.005, "p99": 0.006,
+	})
+	fs = compare(base, fast, defaultOpts())
+	if n := countRegressions(fs); n != 0 {
+		t.Fatalf("throughput growth flagged: %v", fs)
+	}
+	for _, f := range fs {
+		if f.Name == key+":qps" && !strings.Contains(f.String(), "improved") {
+			t.Errorf("doubled qps not reported as improved: %s", f.String())
+		}
+	}
+
+	// -skip-latency must skip throughput too (it is wall-clock derived).
+	opt := defaultOpts()
+	opt.SkipLatency = true
+	for _, f := range compare(base, cur, opt) {
+		if f.Name == key+":qps" {
+			t.Error("skip-latency kept the qps sample")
+		}
 	}
 }
 

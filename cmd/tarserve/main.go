@@ -9,6 +9,10 @@
 //
 // Per-request structured access logs go to stderr (slog). Queries slower
 // than -slow-query are additionally logged at warn level.
+//
+// Queries execute concurrently, bounded by the -max-concurrent admission
+// semaphore (default GOMAXPROCS); requests beyond the limit queue and are
+// visible in the tarserve_query_queue_depth gauge.
 package main
 
 import (
@@ -33,6 +37,7 @@ func main() {
 		logJSON = flag.Bool("logjson", false, "emit access logs as JSON instead of text")
 		nTraces = flag.Int("traces", 64, "query records kept for /debug/traces (0 disables capture)")
 		slowQ   = flag.Duration("slow-query", 250*time.Millisecond, "log queries slower than this at warn level")
+		maxConc = flag.Int("max-concurrent", 0, "admission limit: queries executing at once (0 = GOMAXPROCS); excess requests queue")
 	)
 	flag.Parse()
 
@@ -86,8 +91,8 @@ func main() {
 		"elapsed", time.Since(buildStart).Round(time.Millisecond),
 	)
 
-	srv := newServer(tr, reg, ring, log, d.Spec.Start, d.Spec.End)
-	log.Info("listening", "addr", *addr)
+	srv := newServer(tr, reg, ring, log, d.Spec.Start, d.Spec.End, *maxConc)
+	log.Info("listening", "addr", *addr, "max_concurrent", cap(srv.admission))
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fatal(err)
 	}

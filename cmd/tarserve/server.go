@@ -8,7 +8,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strconv"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"tartree/internal/core"
@@ -28,17 +28,25 @@ type server struct {
 	// span of the indexed data, the default query interval
 	dataStart, dataEnd int64
 
-	// The tree's search path mutates shared buffer state (TIA page
-	// buffers, per-query caches are local but buffer frames are not), so
-	// queries are serialized. Observability endpoints stay lock-free.
-	mu sync.Mutex
+	// Queries run concurrently: the search path is read-only over the
+	// R-tree, TIA buffers synchronize page access internally, and I/O
+	// accounting is query-local, so no server-side mutex is needed.
+	// admission is a counting semaphore bounding how many queries execute
+	// at once (-max-concurrent); excess requests wait their turn and show
+	// up in the queue-depth gauge.
+	admission chan struct{}
+	inflight  atomic.Int64
+	queued    atomic.Int64
 
 	requests *obs.Counter
 	errors   *obs.Counter
 	mux      *http.ServeMux
 }
 
-func newServer(tree *core.Tree, reg *obs.Registry, traces *obs.TraceRing, log *slog.Logger, dataStart, dataEnd int64) *server {
+func newServer(tree *core.Tree, reg *obs.Registry, traces *obs.TraceRing, log *slog.Logger, dataStart, dataEnd int64, maxConcurrent int) *server {
+	if maxConcurrent <= 0 {
+		maxConcurrent = runtime.GOMAXPROCS(0)
+	}
 	s := &server{
 		tree:      tree,
 		reg:       reg,
@@ -47,10 +55,14 @@ func newServer(tree *core.Tree, reg *obs.Registry, traces *obs.TraceRing, log *s
 		start:     time.Now(),
 		dataStart: dataStart,
 		dataEnd:   dataEnd,
+		admission: make(chan struct{}, maxConcurrent),
 		requests:  reg.Counter("tarserve_http_requests_total"),
 		errors:    reg.Counter("tarserve_http_errors_total"),
 		mux:       http.NewServeMux(),
 	}
+	reg.GaugeFunc("tarserve_max_concurrent_queries", func() float64 { return float64(cap(s.admission)) })
+	reg.GaugeFunc("tarserve_inflight_queries", func() float64 { return float64(s.inflight.Load()) })
+	reg.GaugeFunc("tarserve_query_queue_depth", func() float64 { return float64(s.queued.Load()) })
 	reg.GaugeFunc("tarserve_goroutines", func() float64 { return float64(runtime.NumGoroutine()) })
 	reg.GaugeFunc("tarserve_heap_alloc_bytes", func() float64 {
 		var m runtime.MemStats
@@ -151,9 +163,13 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		tr = obs.NewTrace()
 	}
 	begin := time.Now()
-	s.mu.Lock()
+	s.queued.Add(1)
+	s.admission <- struct{}{} // acquire an execution slot
+	s.queued.Add(-1)
+	s.inflight.Add(1)
 	results, stats, err := s.tree.QueryTraced(q, tr)
-	s.mu.Unlock()
+	s.inflight.Add(-1)
+	<-s.admission
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return

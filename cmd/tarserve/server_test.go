@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"log/slog"
 	"net/http/httptest"
@@ -31,7 +32,7 @@ func newTestServer(t *testing.T) (*server, *lbsn.Dataset) {
 		t.Fatal(err)
 	}
 	log := slog.New(slog.NewTextHandler(io.Discard, nil))
-	return newServer(tr, reg, ring, log, d.Spec.Start, d.Spec.End), d
+	return newServer(tr, reg, ring, log, d.Spec.Start, d.Spec.End, 4), d
 }
 
 func get(t *testing.T, s *server, url string) (int, string) {
@@ -200,6 +201,65 @@ func TestServeDebugTraces(t *testing.T) {
 		if tia == 0 {
 			t.Errorf("record %d has no attributed TIA traffic: %+v", rec.ID, rec.IO)
 		}
+	}
+}
+
+// TestServeConcurrentQueries hammers /query from many goroutines — more
+// than the admission limit — and checks that every request succeeds with
+// internally consistent per-query stats, and that the in-flight and
+// queue-depth gauges drain back to zero.
+func TestServeConcurrentQueries(t *testing.T) {
+	s, _ := newTestServer(t)
+	const workers = 8
+	const perWorker = 5
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := 0; i < perWorker; i++ {
+				x := 10 + (w*13+i*7)%80
+				y := 10 + (w*29+i*11)%80
+				code, body := get(t, s, "/query?x="+strconv.Itoa(x)+"&y="+strconv.Itoa(y)+"&k=5&days=128")
+				if code != 200 {
+					errs <- fmt.Errorf("worker %d: status %d: %s", w, code, body)
+					return
+				}
+				var resp queryResponse
+				if err := json.Unmarshal([]byte(body), &resp); err != nil {
+					errs <- fmt.Errorf("worker %d: %v", w, err)
+					return
+				}
+				// Per-query attribution must reconcile even under load.
+				var tia int64
+				for _, line := range resp.IO {
+					if strings.HasPrefix(line.Component, "tia-") {
+						tia += line.Hits + line.Misses
+					}
+				}
+				if tia != resp.Stats.TIAAccesses {
+					errs <- fmt.Errorf("worker %d: attributed TIA reads %d != stats %d", w, tia, resp.Stats.TIAAccesses)
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.inflight.Load(); n != 0 {
+		t.Errorf("inflight gauge = %d after drain, want 0", n)
+	}
+	if n := s.queued.Load(); n != 0 {
+		t.Errorf("queue-depth gauge = %d after drain, want 0", n)
+	}
+	_, metrics := get(t, s, "/metrics")
+	if n := metricValue(t, metrics, "tarserve_max_concurrent_queries"); n != 4 {
+		t.Errorf("max-concurrent gauge = %g, want 4", n)
+	}
+	if n := metricValue(t, metrics, "tartree_queries_total"); n != workers*perWorker {
+		t.Errorf("queries_total = %g, want %d", n, workers*perWorker)
 	}
 }
 

@@ -47,7 +47,7 @@ func Smoke(cfg Config) ([]Table, error) {
 
 	t := Table{
 		Title:  fmt.Sprintf("Smoke: regression probe (%s, scale %.2f, %d queries)", name, cfg.Scale, len(queries)),
-		Header: []string{"method", "results", "node accesses", "TIA reads", "CPU time (ms)", "p50 (ms)"},
+		Header: []string{"method", "results", "node accesses", "TIA reads", "CPU time (ms)", "p50 (ms)", "qps"},
 	}
 	for _, mn := range methodNames {
 		var results, nodeAccesses, tiaReads int64
@@ -79,6 +79,12 @@ func Smoke(cfg Config) ([]Table, error) {
 			cfg.Metrics.Counter(fmt.Sprintf(`bench_results_total{method=%q}`, mn)).Add(results)
 		}
 		snap := local.Snapshot()
+		// Aggregate throughput over the batch; benchdiff derives the same
+		// count/sum ratio from the exported latency histogram.
+		qps := 0.0
+		if snap.Sum > 0 {
+			qps = float64(snap.Count) / snap.Sum
+		}
 		t.Rows = append(t.Rows, []string{
 			mn,
 			fmt.Sprintf("%d", results),
@@ -86,6 +92,7 @@ func Smoke(cfg Config) ([]Table, error) {
 			fmt.Sprintf("%d", tiaReads),
 			ms(cpuMicros / float64(len(queries))),
 			fmt.Sprintf("%.3f", snap.P50*1000),
+			fmt.Sprintf("%.0f", qps),
 		})
 	}
 	return []Table{t}, nil

@@ -50,8 +50,11 @@ type node struct {
 	next     pagestore.PageID   // leaf chain
 }
 
-// Tree is a disk-based B+-tree. It is not safe for concurrent mutation;
-// the TAR-tree serializes updates per TIA.
+// Tree is a disk-based B+-tree. Read-only operations (Get, Scan and their
+// Acct variants) are safe to call from many goroutines at once — the buffer
+// pool synchronizes page access — but the tree is not safe for concurrent
+// mutation, nor for mutation concurrent with reads; the TAR-tree serializes
+// updates per TIA and never mutates TIAs while queries run.
 type Tree struct {
 	buf       *pagestore.Buffer
 	root      pagestore.PageID
@@ -106,7 +109,13 @@ func tag(level int) pagestore.IOTag {
 }
 
 func (t *Tree) readNode(id pagestore.PageID, level int) (*node, error) {
-	page, err := t.buf.GetTag(id, tag(level))
+	return t.readNodeAcct(id, level, nil)
+}
+
+// readNodeAcct is readNode with the access charged to a query-local acct
+// (nil for unattributed traffic, e.g. the mutation paths).
+func (t *Tree) readNodeAcct(id pagestore.PageID, level int, acct *pagestore.IOAcct) (*node, error) {
+	page, err := t.buf.GetTag(id, tag(level).WithAcct(acct))
 	if err != nil {
 		return nil, err
 	}
@@ -190,9 +199,14 @@ func search(keys []int64, k int64) int {
 
 // Get returns the value stored under key, and whether it exists.
 func (t *Tree) Get(key int64) (Value, bool, error) {
+	return t.GetAcct(key, nil)
+}
+
+// GetAcct is Get with the page accesses charged to acct (which may be nil).
+func (t *Tree) GetAcct(key int64, acct *pagestore.IOAcct) (Value, bool, error) {
 	id := t.root
 	for level := t.height; level > 1; level-- {
-		n, err := t.readNode(id, level)
+		n, err := t.readNodeAcct(id, level, acct)
 		if err != nil {
 			return Value{}, false, err
 		}
@@ -202,7 +216,7 @@ func (t *Tree) Get(key int64) (Value, bool, error) {
 		}
 		id = n.children[i]
 	}
-	n, err := t.readNode(id, 1)
+	n, err := t.readNodeAcct(id, 1, acct)
 	if err != nil {
 		return Value{}, false, err
 	}
@@ -336,9 +350,16 @@ func (t *Tree) insert(id pagestore.PageID, level int, key int64, v Value) (int64
 // Scan visits all pairs with lo <= key <= hi in ascending key order,
 // stopping early when fn returns false.
 func (t *Tree) Scan(lo, hi int64, fn func(key int64, v Value) bool) error {
+	return t.ScanAcct(lo, hi, nil, fn)
+}
+
+// ScanAcct is Scan with the page accesses charged to acct (which may be
+// nil). The TIA aggregation path threads the owning query's acct here so
+// per-query I/O stays exact under concurrent execution.
+func (t *Tree) ScanAcct(lo, hi int64, acct *pagestore.IOAcct, fn func(key int64, v Value) bool) error {
 	id := t.root
 	for level := t.height; level > 1; level-- {
-		n, err := t.readNode(id, level)
+		n, err := t.readNodeAcct(id, level, acct)
 		if err != nil {
 			return err
 		}
@@ -349,7 +370,7 @@ func (t *Tree) Scan(lo, hi int64, fn func(key int64, v Value) bool) error {
 		id = n.children[i]
 	}
 	for id != pagestore.InvalidPage {
-		n, err := t.readNode(id, 1)
+		n, err := t.readNodeAcct(id, 1, acct)
 		if err != nil {
 			return err
 		}

@@ -223,8 +223,13 @@ func TestPaperWorkedExample(t *testing.T) {
 // follow a rough power law, and returns the expected epoch count.
 func buildRandomTree(t testing.TB, g Grouping, n int, seed int64) (*Tree, *rand.Rand) {
 	t.Helper()
+	return buildRandomTreeOpts(t, defaultOpts(g), n, seed)
+}
+
+func buildRandomTreeOpts(t testing.TB, opts Options, n int, seed int64) (*Tree, *rand.Rand) {
+	t.Helper()
 	r := rand.New(rand.NewSource(seed))
-	tr := mustTree(t, defaultOpts(g))
+	tr := mustTree(t, opts)
 	const epochs = 20
 	for i := 0; i < n; i++ {
 		var hist []tia.Record

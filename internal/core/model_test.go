@@ -111,45 +111,62 @@ func TestRandomOperationModel(t *testing.T) {
 	}
 }
 
-// TestConcurrentQueries runs read-only queries from many goroutines; run
-// with -race to catch sharing bugs (the TIA buffer pools are mutexed, the
-// R-tree and mirrors are immutable during queries).
+// TestConcurrentQueries runs read-only queries from many goroutines against
+// every TIA backend; run with -race to catch sharing bugs (the TIA buffer
+// pools synchronize internally, the R-tree and mirrors are immutable during
+// queries, and I/O accounting is query-local).
 func TestConcurrentQueries(t *testing.T) {
-	tr, _ := buildRandomTree(t, TAR3D, 800, 2024)
-	const workers = 8
-	var wg sync.WaitGroup
-	errs := make(chan error, workers)
-	for w := 0; w < workers; w++ {
-		w := w
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			r := rand.New(rand.NewSource(int64(w)))
-			for i := 0; i < 30; i++ {
-				q := Query{
-					X: r.Float64() * 100, Y: r.Float64() * 100,
-					Iq:     tia.Interval{Start: int64(r.Intn(100)), End: int64(120 + r.Intn(80))},
-					K:      1 + r.Intn(10),
-					Alpha0: 0.1 + 0.8*r.Float64(),
-				}
-				res, _, err := tr.Query(q)
-				if err != nil {
-					errs <- err
-					return
-				}
-				// Sanity: scores non-decreasing.
-				for j := 1; j < len(res); j++ {
-					if res[j].Score < res[j-1].Score-1e-12 {
-						errs <- errUnknownPOI(0)
-						return
-					}
-				}
-			}
-		}()
+	backends := []struct {
+		name string
+		fac  func() tia.Factory
+	}{
+		{"mem", func() tia.Factory { return tia.NewMemFactory() }},
+		{"btree", func() tia.Factory { return tia.NewBTreeFactory(256, 10) }},
+		{"mvbt", func() tia.Factory { return tia.NewMVBTFactory(1024, 10) }},
 	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		t.Fatal(err)
+	for _, be := range backends {
+		be := be
+		t.Run(be.name, func(t *testing.T) {
+			t.Parallel()
+			opts := defaultOpts(TAR3D)
+			opts.TIA = be.fac()
+			tr, _ := buildRandomTreeOpts(t, opts, 800, 2024)
+			const workers = 8
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					r := rand.New(rand.NewSource(int64(w)))
+					for i := 0; i < 30; i++ {
+						q := Query{
+							X: r.Float64() * 100, Y: r.Float64() * 100,
+							Iq:     tia.Interval{Start: int64(r.Intn(100)), End: int64(120 + r.Intn(80))},
+							K:      1 + r.Intn(10),
+							Alpha0: 0.1 + 0.8*r.Float64(),
+						}
+						res, _, err := tr.Query(q)
+						if err != nil {
+							errs <- err
+							return
+						}
+						// Sanity: scores non-decreasing.
+						for j := 1; j < len(res); j++ {
+							if res[j].Score < res[j-1].Score-1e-12 {
+								errs <- errUnknownPOI(0)
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+		})
 	}
 }

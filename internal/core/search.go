@@ -28,9 +28,12 @@ type QueryStats struct {
 	Scored int
 	// IO attributes the query's page traffic by (component, level): R-tree
 	// node reads (always buffer hits — the R-tree is in memory) and TIA
-	// page traffic per backend. Populated by Query/QueryTraced; the TIA
-	// cells reconcile exactly with the factory's Stats() delta over the
-	// query, and the R-tree cells with InternalAccesses/LeafAccesses.
+	// page traffic per backend. The scorer threads a query-local
+	// pagestore.IOAcct pointing here through every TIA probe, so the TIA
+	// cells reconcile exactly with the traffic this query caused — with no
+	// global counter diffing, the accounting stays exact while any number
+	// of queries run concurrently. The R-tree cells reconcile with
+	// InternalAccesses/LeafAccesses.
 	IO pagestore.IOBreakdown
 }
 
@@ -42,6 +45,17 @@ func (s QueryStats) NodeAccesses() int64 {
 
 // RTreeAccesses returns only the R-tree node accesses.
 func (s QueryStats) RTreeAccesses() int { return s.InternalAccesses + s.LeafAccesses }
+
+// Merge accumulates another query's counters (and I/O breakdown) into s,
+// for batch executors that report one aggregate QueryStats.
+func (s *QueryStats) Merge(o *QueryStats) {
+	s.InternalAccesses += o.InternalAccesses
+	s.LeafAccesses += o.LeafAccesses
+	s.TIAAccesses += o.TIAAccesses
+	s.TIAPhysical += o.TIAPhysical
+	s.Scored += o.Scored
+	s.IO.Add(&o.IO)
+}
 
 // aggKey identifies a cached TIA aggregate.
 type aggKey struct {
@@ -62,8 +76,22 @@ type Scorer struct {
 	qv    geo.Vector // scaled query point
 	gmax  float64    // aggregate normalizer (per-query constant)
 	stats *QueryStats
+	// acct is the query-local I/O accounting context threaded through
+	// every TIA probe. Its breakdown pointer aims at stats.IO, so the
+	// buffer layer writes the query's attributed traffic directly into
+	// the caller's QueryStats without touching shared counters.
+	acct  pagestore.IOAcct
 	cache AggCache
 	trace *obs.Trace // nil when tracing is off
+}
+
+// acctPtr returns the scorer's accounting context, or nil when the scorer
+// collects no stats (probes then run unattributed).
+func (sc *Scorer) acctPtr() *pagestore.IOAcct {
+	if sc.stats == nil {
+		return nil
+	}
+	return &sc.acct
 }
 
 // NewScorer prepares a scorer for q, reading the per-query aggregate
@@ -87,6 +115,9 @@ func (t *Tree) newScorer(q Query, stats *QueryStats, cache AggCache, tr *obs.Tra
 		cache: cache,
 		trace: tr,
 	}
+	if stats != nil {
+		sc.acct.IO = &stats.IO
+	}
 	gmax, err := sc.maxAggregate()
 	if err != nil {
 		return nil, err
@@ -109,15 +140,15 @@ func (sc *Scorer) maxAggregate() (int64, error) {
 	if sc.trace != nil {
 		defer sc.trace.StartSpan("gmax")()
 	}
-	before := sc.t.opts.TIA.Stats()
-	a, err := g.disk.AggregateFunc(sc.q.Iq, sc.t.opts.Semantics, sc.t.opts.AggFunc)
+	before := sc.acct.Stats
+	a, err := g.disk.AggregateAcct(sc.q.Iq, sc.t.opts.Semantics, sc.t.opts.AggFunc, sc.acctPtr())
 	if err != nil {
 		return 0, err
 	}
 	if sc.stats != nil {
-		after := sc.t.opts.TIA.Stats()
-		sc.stats.TIAAccesses += after.LogicalReads - before.LogicalReads
-		sc.stats.TIAPhysical += after.PhysicalReads - before.PhysicalReads
+		delta := sc.acct.Stats.Sub(before)
+		sc.stats.TIAAccesses += delta.LogicalReads
+		sc.stats.TIAPhysical += delta.PhysicalReads
 	}
 	sc.cache[key] = a
 	return a, nil
@@ -142,8 +173,8 @@ func (sc *Scorer) aggregate(e rstar.Entry) (int64, error) {
 	if sc.trace != nil {
 		begin = time.Now()
 	}
-	before := sc.t.opts.TIA.Stats()
-	a, err := d.disk.AggregateFunc(sc.q.Iq, sc.t.opts.Semantics, sc.t.opts.AggFunc)
+	before := sc.acct.Stats
+	a, err := d.disk.AggregateAcct(sc.q.Iq, sc.t.opts.Semantics, sc.t.opts.AggFunc, sc.acctPtr())
 	if err != nil {
 		return 0, err
 	}
@@ -151,9 +182,9 @@ func (sc *Scorer) aggregate(e rstar.Entry) (int64, error) {
 		sc.trace.Observe("tia_probe", time.Since(begin))
 	}
 	if sc.stats != nil {
-		after := sc.t.opts.TIA.Stats()
-		sc.stats.TIAAccesses += after.LogicalReads - before.LogicalReads
-		sc.stats.TIAPhysical += after.PhysicalReads - before.PhysicalReads
+		delta := sc.acct.Stats.Sub(before)
+		sc.stats.TIAAccesses += delta.LogicalReads
+		sc.stats.TIAPhysical += delta.PhysicalReads
 		sc.stats.Scored++
 	}
 	sc.cache[key] = a
@@ -304,7 +335,11 @@ func (t *Tree) newScorerWithGmax(q Query, gmax float64, stats *QueryStats, cache
 	if cache == nil {
 		cache = make(AggCache)
 	}
-	return &Scorer{t: t, q: q, qv: t.scaled(q.X, q.Y), gmax: gmax, stats: stats, cache: cache}, nil
+	sc := &Scorer{t: t, q: q, qv: t.scaled(q.X, q.Y), gmax: gmax, stats: stats, cache: cache}
+	if stats != nil {
+		sc.acct.IO = &stats.IO
+	}
+	return sc, nil
 }
 
 // MaxAggregate reads the normalization range for iv (the sum of the global
@@ -320,6 +355,9 @@ func (t *Tree) MaxAggregate(iv tia.Interval, stats *QueryStats, cache AggCache) 
 		q:     Query{Iq: iv, K: 1, Alpha0: 0.5},
 		stats: stats,
 		cache: cache,
+	}
+	if stats != nil {
+		sc.acct.IO = &stats.IO
 	}
 	return sc.maxAggregate()
 }
@@ -476,13 +514,12 @@ func IOLines(b *pagestore.IOBreakdown) []obs.IOLine {
 
 func (t *Tree) runQuery(q Query, tr *obs.Trace) ([]Result, QueryStats, error) {
 	var stats QueryStats
-	// The factory breakdown is diffed once per query — not per probe like
-	// the flat Stats() — so attribution costs a fixed ~2×NumComponents×
-	// MaxIOLevels atomic loads per query regardless of probe count.
-	tiaBefore := t.opts.TIA.Breakdown()
+	// I/O attribution is query-local: the scorer's IOAcct points at
+	// stats.IO and rides the IOTag of every TIA page access (including
+	// evictions and write-backs that access forces), so nothing here diffs
+	// shared factory counters and concurrent queries cannot bleed traffic
+	// into each other's stats.
 	res, err := t.searchTopK(q, tr, &stats)
-	diff := t.opts.TIA.Breakdown().Sub(tiaBefore)
-	stats.IO.Add(&diff)
 	return res, stats, err
 }
 

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"math/rand"
+	"sync"
 	"testing"
 
 	"tartree/internal/geo"
@@ -306,5 +309,109 @@ func TestIOBreakdownConservation(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestIOBreakdownConservationConcurrent is the concurrent variant of the
+// conservation check: with 8 goroutines querying the same tree at once, each
+// query's IOBreakdown must still reconcile with its own flat counters (the
+// accounting is query-local, not a racy global diff), and the per-query
+// breakdowns must still sum — across all goroutines — to exactly the
+// factory's global delta: every buffer access lands in precisely one
+// query's breakdown, including evictions and write-backs attributed to the
+// access that triggered them. Run with -race.
+func TestIOBreakdownConservationConcurrent(t *testing.T) {
+	backends := map[string]func() tia.Factory{
+		"btree": func() tia.Factory { return tia.NewBTreeFactory(256, 10) },
+		"mvbt":  func() tia.Factory { return tia.NewMVBTFactory(1024, 10) },
+	}
+	for name, newFac := range backends {
+		name, newFac := name, newFac
+		t.Run(name, func(t *testing.T) {
+			tr := buildAccountingTreeOpts(t, Options{
+				World:       geo.Rect{Min: geo.Vector{0, 0}, Max: geo.Vector{100, 100}},
+				NodeSize:    256,
+				Grouping:    TAR3D,
+				EpochStart:  0,
+				EpochLength: 100,
+				TIA:         newFac(),
+			})
+			fac := tr.TIAFactory()
+			fac.ResetStats()
+
+			const workers = 8
+			const perWorker = 12
+			sums := make([]pagestore.IOBreakdown, workers)
+			errs := make(chan error, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					r := rand.New(rand.NewSource(int64(w) * 97))
+					for i := 0; i < perWorker; i++ {
+						start := int64(r.Intn(4)) * 100
+						q := Query{
+							X: r.Float64() * 100, Y: r.Float64() * 100,
+							Iq:     tia.Interval{Start: start, End: start + 100 + int64(r.Intn(5))*100},
+							K:      1 + r.Intn(20),
+							Alpha0: 0.1 + 0.8*r.Float64(),
+						}
+						_, stats, err := tr.Query(q)
+						if err != nil {
+							errs <- err
+							return
+						}
+						// Per-query reconciliation under load.
+						var tiaHits, tiaMisses int64
+						bad := false
+						stats.IO.Each(func(c pagestore.Component, level int, cell pagestore.IOCell) {
+							switch c {
+							case pagestore.CompTIABTree, pagestore.CompTIAMVBT:
+								tiaHits += cell.Hits
+								tiaMisses += cell.Misses
+							case pagestore.CompUnknown:
+								bad = true
+							}
+						})
+						if bad {
+							errs <- fmt.Errorf("worker %d query %d: unattributed traffic: %v", w, i, stats.IO)
+							return
+						}
+						if tiaHits+tiaMisses != stats.TIAAccesses || tiaMisses != stats.TIAPhysical {
+							errs <- fmt.Errorf("worker %d query %d: cells (%d logical, %d misses) != flat counters (%d, %d)",
+								w, i, tiaHits+tiaMisses, tiaMisses, stats.TIAAccesses, stats.TIAPhysical)
+							return
+						}
+						sums[w].Add(&stats.IO)
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			// Global conservation: the per-query breakdowns, summed across all
+			// goroutines, equal the factory's delta exactly.
+			var sum pagestore.IOBreakdown
+			for w := range sums {
+				sum.Add(&sums[w])
+			}
+			sum[pagestore.CompRTreeInternal] = [pagestore.MaxIOLevels]pagestore.IOCell{}
+			sum[pagestore.CompRTreeLeaf] = [pagestore.MaxIOLevels]pagestore.IOCell{}
+			if got := fac.Breakdown(); got != sum {
+				t.Errorf("factory breakdown != sum of per-query breakdowns across %d concurrent workers:\n got %v\nwant %v",
+					workers, got, sum)
+			}
+			if got, want := sum.Total(), fac.Stats(); got != want {
+				t.Errorf("breakdown total %+v != factory stats %+v", got, want)
+			}
+			if sum.Total().LogicalReads == 0 {
+				t.Error("no TIA traffic observed")
+			}
+		})
 	}
 }

@@ -148,7 +148,13 @@ func tag(level int) pagestore.IOTag {
 }
 
 func (t *Tree) readNode(id pagestore.PageID, level int) (*node, error) {
-	page, err := t.buf.GetTag(id, tag(level))
+	return t.readNodeAcct(id, level, nil)
+}
+
+// readNodeAcct is readNode with the access charged to a query-local acct
+// (nil for unattributed traffic, e.g. the mutation paths).
+func (t *Tree) readNodeAcct(id pagestore.PageID, level int, acct *pagestore.IOAcct) (*node, error) {
+	page, err := t.buf.GetTag(id, tag(level).WithAcct(acct))
 	if err != nil {
 		return nil, err
 	}
@@ -597,9 +603,18 @@ func (t *Tree) Get(v, key int64) (Value, bool, error) {
 // ScanAt visits all live ⟨key, value⟩ pairs with lo <= key <= hi as of
 // version v, in ascending key order, stopping early when fn returns false.
 func (t *Tree) ScanAt(v, lo, hi int64, fn func(key int64, val Value) bool) error {
+	return t.ScanAtAcct(v, lo, hi, nil, fn)
+}
+
+// ScanAtAcct is ScanAt with the page accesses charged to acct (which may be
+// nil). The TIA aggregation path threads the owning query's acct here so
+// per-query I/O stays exact under concurrent execution. Read-only
+// operations are safe to call from many goroutines at once; mutation must
+// not run concurrently with anything else.
+func (t *Tree) ScanAtAcct(v, lo, hi int64, acct *pagestore.IOAcct, fn func(key int64, val Value) bool) error {
 	span := t.rootFor(v)
 	var results []entry
-	if err := t.collect(span.id, span.height, v, lo, hi, &results); err != nil {
+	if err := t.collect(span.id, span.height, v, lo, hi, acct, &results); err != nil {
 		return err
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].key < results[j].key })
@@ -612,8 +627,8 @@ func (t *Tree) ScanAt(v, lo, hi int64, fn func(key int64, val Value) bool) error
 }
 
 // collect gathers live leaf entries in [lo, hi] at version v.
-func (t *Tree) collect(id pagestore.PageID, level int, v, lo, hi int64, out *[]entry) error {
-	n, err := t.readNode(id, level)
+func (t *Tree) collect(id pagestore.PageID, level int, v, lo, hi int64, acct *pagestore.IOAcct, out *[]entry) error {
+	n, err := t.readNodeAcct(id, level, acct)
 	if err != nil {
 		return err
 	}
@@ -648,7 +663,7 @@ func (t *Tree) collect(id pagestore.PageID, level int, v, lo, hi int64, out *[]e
 		if covLo > hi || next <= lo {
 			continue
 		}
-		if err := t.collect(e.child(), level-1, v, lo, hi, out); err != nil {
+		if err := t.collect(e.child(), level-1, v, lo, hi, acct, out); err != nil {
 			return err
 		}
 	}

@@ -56,6 +56,68 @@ const MaxIOLevels = 8
 type IOTag struct {
 	Comp  Component
 	Level uint8
+	// Acct, when non-nil, is the query-local accounting context this
+	// access is additionally charged to (see IOAcct). Buffers carry it
+	// through evictions and write-backs, so side-effect traffic lands in
+	// the acct of the access that forced it — the same attribution rule
+	// TagSink documents.
+	Acct *IOAcct
+}
+
+// WithAcct returns a copy of t that charges its traffic to a as well as to
+// the buffer's sinks. A nil a leaves the tag unattributed to any acct.
+func (t IOTag) WithAcct(a *IOAcct) IOTag {
+	t.Acct = a
+	return t
+}
+
+// IOAcct is a query-local I/O accounting context. A query (or any other
+// logical unit of work) owns one IOAcct, stamps it into the IOTags of its
+// page accesses (IOTag.WithAcct), and afterwards reads its own traffic off
+// Stats and IO — no diffing of global shared counters, so per-query numbers
+// stay exact while any number of queries run concurrently.
+//
+// An IOAcct must not be shared by concurrently running units of work: its
+// fields are plain values and the owning query's goroutine is expected to
+// be the only one whose accesses carry it. (Buffers may record into it
+// while holding only a read lock; that is safe precisely because distinct
+// concurrent queries carry distinct accts.)
+type IOAcct struct {
+	// Stats totals the traffic of the accesses carrying this acct,
+	// including evictions and write-backs those accesses forced.
+	Stats Stats
+	// IO, when non-nil, additionally receives the attributed
+	// (component, level) breakdown of the same traffic.
+	IO *IOBreakdown
+}
+
+func (a *IOAcct) read(t IOTag, hit bool) {
+	a.Stats.LogicalReads++
+	if !hit {
+		a.Stats.PhysicalReads++
+	}
+	if a.IO != nil {
+		a.IO.AddRead(t, hit)
+	}
+}
+
+func (a *IOAcct) write(t IOTag, physical bool) {
+	if physical {
+		a.Stats.PhysicalWrites++
+	} else {
+		a.Stats.LogicalWrites++
+	}
+	if a.IO != nil {
+		a.IO.AddWrite(t, physical)
+	}
+}
+
+func (a *IOAcct) evicted(t IOTag, dirty bool) {
+	_ = dirty // the dirty write-back was already counted via write()
+	a.Stats.Evictions++
+	if a.IO != nil {
+		a.IO.AddEviction(t)
+	}
 }
 
 // NewIOTag builds a tag, clamping out-of-range levels into the breakdown's

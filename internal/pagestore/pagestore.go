@@ -339,10 +339,14 @@ func (s *CounterSink) PageEvicted(bool) {
 }
 
 type frame struct {
-	id         PageID
-	data       []byte
-	dirty      bool
-	prev, next *frame // LRU list; most recent at head
+	id    PageID
+	data  []byte
+	dirty bool
+	// used is the frame's last-access stamp from the buffer's logical
+	// clock; the eviction victim is the frame with the minimum stamp.
+	// Stamps are unique (the clock only counts up), so this is exact LRU.
+	// Atomic because buffer hits stamp it under the shared read lock.
+	used atomic.Int64
 }
 
 // Buffer is a write-back LRU buffer pool over a File. Each TIA owns a
@@ -350,21 +354,54 @@ type frame struct {
 // makes the buffer a pass-through so every access is physical, as in the
 // collective-processing experiments).
 //
-// A Buffer is safe for concurrent use.
+// A Buffer is safe for concurrent use, with a two-tier locking scheme
+// sized for read-heavy query traffic: a buffer hit takes only the shared
+// read lock (map lookup, atomic LRU stamp, atomic counters), so concurrent
+// queries over warm buffers do not serialize; misses, writes, eviction,
+// and maintenance take the exclusive lock. Concurrent readers — including
+// of the same page — are safe. Writers must not race readers of the same
+// page: the returned Get slice aliases the frame. The TAR-tree upholds
+// this by never mutating TIAs while queries run.
 type Buffer struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	file   File
 	slots  int
 	frames map[PageID]*frame
-	head   *frame
-	tail   *frame
-	stats  Stats
-	sinks  []Sink
+	// clock is the logical access clock behind the LRU stamps.
+	clock atomic.Int64
+	stats bufStats
+	sinks []Sink
 	// tagSinks caches the TagSink assertion per sink (nil where the sink
 	// is untagged), so the per-access fan-out costs no type switches.
 	tagSinks []TagSink
-	// scratch holds the pass-through page when slots == 0.
-	scratch []byte
+}
+
+// bufStats is Stats with atomic fields: buffer hits bump counters under
+// the shared read lock, where plain increments would race.
+type bufStats struct {
+	logicalReads   atomic.Int64
+	physicalReads  atomic.Int64
+	logicalWrites  atomic.Int64
+	physicalWrites atomic.Int64
+	evictions      atomic.Int64
+}
+
+func (s *bufStats) snapshot() Stats {
+	return Stats{
+		LogicalReads:   s.logicalReads.Load(),
+		PhysicalReads:  s.physicalReads.Load(),
+		LogicalWrites:  s.logicalWrites.Load(),
+		PhysicalWrites: s.physicalWrites.Load(),
+		Evictions:      s.evictions.Load(),
+	}
+}
+
+func (s *bufStats) reset() {
+	s.logicalReads.Store(0)
+	s.physicalReads.Store(0)
+	s.logicalWrites.Store(0)
+	s.physicalWrites.Store(0)
+	s.evictions.Store(0)
 }
 
 // NewBuffer creates a buffer pool with the given number of slots over f.
@@ -388,10 +425,9 @@ func NewBufferWithSinks(f File, slots int, sinks ...Sink) *Buffer {
 		panic("pagestore: negative slot count")
 	}
 	b := &Buffer{
-		file:    f,
-		slots:   slots,
-		frames:  make(map[PageID]*frame, slots),
-		scratch: make([]byte, f.PageSize()),
+		file:   f,
+		slots:  slots,
+		frames: make(map[PageID]*frame, slots),
 	}
 	for _, s := range sinks {
 		b.attachSink(s)
@@ -425,13 +461,15 @@ func (b *Buffer) File() File { return b.file }
 // PageSize returns the page size of the underlying file.
 func (b *Buffer) PageSize() int { return b.file.PageSize() }
 
-// count helpers keep the buffer's own stats and the attached sinks in
-// step. Tag-aware sinks receive the attribution tag; everyone else gets
-// the plain event.
+// count helpers keep the buffer's own stats, the attached sinks, and the
+// tag's query-local acct (if any) in step. Tag-aware sinks receive the
+// attribution tag; everyone else gets the plain event. They are called with
+// at least the shared read lock held, so everything they touch is atomic,
+// concurrency-safe (sinks), or owned by a single query (the acct).
 func (b *Buffer) countRead(tag IOTag, hit bool) {
-	b.stats.LogicalReads++
+	b.stats.logicalReads.Add(1)
 	if !hit {
-		b.stats.PhysicalReads++
+		b.stats.physicalReads.Add(1)
 	}
 	for i, s := range b.sinks {
 		if ts := b.tagSinks[i]; ts != nil {
@@ -440,13 +478,16 @@ func (b *Buffer) countRead(tag IOTag, hit bool) {
 			s.PageRead(hit)
 		}
 	}
+	if a := tag.Acct; a != nil {
+		a.read(tag, hit)
+	}
 }
 
 func (b *Buffer) countWrite(tag IOTag, physical bool) {
 	if physical {
-		b.stats.PhysicalWrites++
+		b.stats.physicalWrites.Add(1)
 	} else {
-		b.stats.LogicalWrites++
+		b.stats.logicalWrites.Add(1)
 	}
 	for i, s := range b.sinks {
 		if ts := b.tagSinks[i]; ts != nil {
@@ -455,10 +496,13 @@ func (b *Buffer) countWrite(tag IOTag, physical bool) {
 			s.PageWrite(physical)
 		}
 	}
+	if a := tag.Acct; a != nil {
+		a.write(tag, physical)
+	}
 }
 
 func (b *Buffer) countEviction(tag IOTag, dirty bool) {
-	b.stats.Evictions++
+	b.stats.evictions.Add(1)
 	for i, s := range b.sinks {
 		if ts := b.tagSinks[i]; ts != nil {
 			ts.PageEvictedTag(tag, dirty)
@@ -466,46 +510,23 @@ func (b *Buffer) countEviction(tag IOTag, dirty bool) {
 			s.PageEvicted(dirty)
 		}
 	}
-}
-
-func (b *Buffer) unlink(fr *frame) {
-	if fr.prev != nil {
-		fr.prev.next = fr.next
-	} else {
-		b.head = fr.next
+	if a := tag.Acct; a != nil {
+		a.evicted(tag, dirty)
 	}
-	if fr.next != nil {
-		fr.next.prev = fr.prev
-	} else {
-		b.tail = fr.prev
-	}
-	fr.prev, fr.next = nil, nil
-}
-
-func (b *Buffer) pushFront(fr *frame) {
-	fr.next = b.head
-	if b.head != nil {
-		b.head.prev = fr
-	}
-	b.head = fr
-	if b.tail == nil {
-		b.tail = fr
-	}
-}
-
-func (b *Buffer) touch(fr *frame) {
-	if b.head == fr {
-		return
-	}
-	b.unlink(fr)
-	b.pushFront(fr)
 }
 
 // evict flushes and removes the least recently used frame. The eviction
 // (and any dirty write-back) is attributed to the tag of the access that
 // forced it, since evicting is a side effect of loading another page.
+// Callers hold the exclusive lock; slot counts are small (10 in the
+// paper's setup), so the linear victim scan beats maintaining a list.
 func (b *Buffer) evict(tag IOTag) error {
-	fr := b.tail
+	var fr *frame
+	for _, cand := range b.frames {
+		if fr == nil || cand.used.Load() < fr.used.Load() {
+			fr = cand
+		}
+	}
 	if fr == nil {
 		return nil
 	}
@@ -515,15 +536,16 @@ func (b *Buffer) evict(tag IOTag) error {
 		}
 		b.countWrite(tag, true)
 	}
-	b.unlink(fr)
 	delete(b.frames, fr.id)
 	b.countEviction(tag, fr.dirty)
 	return nil
 }
 
+// load returns the frame for id, faulting it in (and evicting) as needed.
+// Callers hold the exclusive lock.
 func (b *Buffer) load(id PageID, readThrough bool, tag IOTag) (*frame, error) {
 	if fr, ok := b.frames[id]; ok {
-		b.touch(fr)
+		fr.used.Store(b.clock.Add(1))
 		return fr, nil
 	}
 	for len(b.frames) >= b.slots && len(b.frames) > 0 {
@@ -537,9 +559,9 @@ func (b *Buffer) load(id PageID, readThrough bool, tag IOTag) (*frame, error) {
 			return nil, err
 		}
 	}
+	fr.used.Store(b.clock.Add(1))
 	if b.slots > 0 {
 		b.frames[id] = fr
-		b.pushFront(fr)
 	}
 	return fr, nil
 }
@@ -552,15 +574,30 @@ func (b *Buffer) Get(id PageID) ([]byte, error) {
 
 // GetTag is Get with an attribution tag reported to tag-aware sinks.
 func (b *Buffer) GetTag(id PageID, tag IOTag) ([]byte, error) {
+	if b.slots > 0 {
+		// Fast path: a buffer hit needs only the shared lock.
+		b.mu.RLock()
+		if fr, ok := b.frames[id]; ok {
+			fr.used.Store(b.clock.Add(1))
+			b.countRead(tag, true)
+			data := fr.data
+			b.mu.RUnlock()
+			return data, nil
+		}
+		b.mu.RUnlock()
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.slots == 0 {
-		if err := b.file.ReadPage(id, b.scratch); err != nil {
+		buf := make([]byte, b.file.PageSize())
+		if err := b.file.ReadPage(id, buf); err != nil {
 			return nil, err
 		}
 		b.countRead(tag, false)
-		return b.scratch, nil
+		return buf, nil
 	}
+	// Re-check under the exclusive lock: a racing miss may have faulted
+	// the page in between our RUnlock and Lock.
 	_, hit := b.frames[id]
 	fr, err := b.load(id, true, tag)
 	if err != nil {
@@ -609,10 +646,7 @@ func (b *Buffer) Alloc() (PageID, error) {
 func (b *Buffer) Free(id PageID) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if fr, ok := b.frames[id]; ok {
-		b.unlink(fr)
-		delete(b.frames, id)
-	}
+	delete(b.frames, id)
 	return b.file.Free(id)
 }
 
@@ -620,7 +654,7 @@ func (b *Buffer) Free(id PageID) error {
 func (b *Buffer) Flush() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for fr := b.head; fr != nil; fr = fr.next {
+	for _, fr := range b.frames {
 		if fr.dirty {
 			if err := b.file.WritePage(fr.id, fr.data); err != nil {
 				return err
@@ -638,14 +672,11 @@ func (b *Buffer) Drop() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.frames = make(map[PageID]*frame, b.slots)
-	b.head, b.tail = nil, nil
 }
 
 // Stats returns a snapshot of the traffic counters.
 func (b *Buffer) Stats() Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.stats
+	return b.stats.snapshot()
 }
 
 // ResetStats zeroes the buffer's local traffic counters; buffered pages
@@ -665,7 +696,7 @@ func (b *Buffer) Stats() Stats {
 func (b *Buffer) ResetStats() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.stats = Stats{}
+	b.stats.reset()
 }
 
 // Resize changes the number of buffer slots, evicting frames as needed.

@@ -1,0 +1,52 @@
+package pagestore
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// SlowFile wraps a File, adding a configurable latency to every page read
+// and write that reaches it. With a Buffer on top only misses and
+// write-backs pay the delay, so it models a storage device for concurrency
+// and buffering experiments: queries running in parallel can hide each
+// other's I/O stalls the way they would on a real disk, while the purely
+// in-memory MemFile makes every workload CPU-bound.
+//
+// The delay can be changed at any time, e.g. to build an index quickly and
+// then measure queries under simulated latency. Synchronization of the
+// underlying File is the caller's concern, exactly as for any other File.
+type SlowFile struct {
+	File
+	delay atomic.Int64 // nanoseconds per physical page access
+}
+
+// NewSlowFile wraps f so every ReadPage and WritePage takes at least delay.
+func NewSlowFile(f File, delay time.Duration) *SlowFile {
+	sf := &SlowFile{File: f}
+	sf.SetDelay(delay)
+	return sf
+}
+
+// SetDelay changes the per-access latency.
+func (f *SlowFile) SetDelay(d time.Duration) { f.delay.Store(int64(d)) }
+
+// Delay returns the current per-access latency.
+func (f *SlowFile) Delay() time.Duration { return time.Duration(f.delay.Load()) }
+
+func (f *SlowFile) pause() {
+	if d := f.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+}
+
+// ReadPage implements File.
+func (f *SlowFile) ReadPage(id PageID, buf []byte) error {
+	f.pause()
+	return f.File.ReadPage(id, buf)
+}
+
+// WritePage implements File.
+func (f *SlowFile) WritePage(id PageID, data []byte) error {
+	f.pause()
+	return f.File.WritePage(id, data)
+}

@@ -137,6 +137,12 @@ type Index interface {
 	Aggregate(iv Interval, sem Semantics) (int64, error)
 	// AggregateFunc folds the matching records' values with f.
 	AggregateFunc(iv Interval, sem Semantics, f Func) (int64, error)
+	// AggregateAcct is AggregateFunc with the page accesses charged to a
+	// query-local acct (which may be nil). Queries thread their own acct
+	// here so per-query I/O accounting stays exact when many queries run
+	// concurrently; backends without page traffic ignore it. Read-only
+	// calls (Aggregate*, Visit) are safe from many goroutines at once.
+	AggregateAcct(iv Interval, sem Semantics, f Func, acct *pagestore.IOAcct) (int64, error)
 	// Visit iterates all records in ascending Ts order, stopping early when
 	// fn returns false.
 	Visit(fn func(Record) bool) error
@@ -225,6 +231,12 @@ func (m *Mem) Put(rec Record) error {
 // Aggregate implements Index.
 func (m *Mem) Aggregate(iv Interval, sem Semantics) (int64, error) {
 	return m.AggregateFunc(iv, sem, FuncSum)
+}
+
+// AggregateAcct implements Index; memory indexes have no page traffic, so
+// the acct is ignored.
+func (m *Mem) AggregateAcct(iv Interval, sem Semantics, f Func, _ *pagestore.IOAcct) (int64, error) {
+	return m.AggregateFunc(iv, sem, f)
 }
 
 // AggregateFunc implements Index.
@@ -356,9 +368,15 @@ func (b *BTree) Aggregate(iv Interval, sem Semantics) (int64, error) {
 
 // AggregateFunc implements Index.
 func (b *BTree) AggregateFunc(iv Interval, sem Semantics, f Func) (int64, error) {
+	return b.AggregateAcct(iv, sem, f, nil)
+}
+
+// AggregateAcct implements Index, charging the B+-tree page accesses of
+// this probe to acct.
+func (b *BTree) AggregateAcct(iv Interval, sem Semantics, f Func, acct *pagestore.IOAcct) (int64, error) {
 	probes[KindBTree].Add(1)
 	var acc int64
-	err := b.tree.Scan(b.scanLow(iv, sem), iv.End-1, func(ts int64, v btree.Value) bool {
+	err := b.tree.ScanAcct(b.scanLow(iv, sem), iv.End-1, acct, func(ts int64, v btree.Value) bool {
 		if match(Record{Ts: ts, Te: v[0], Agg: v[1]}, iv, sem) {
 			acc = f.fold(acc, v[1])
 		}
@@ -492,9 +510,15 @@ func (m *MVBT) Aggregate(iv Interval, sem Semantics) (int64, error) {
 
 // AggregateFunc implements Index.
 func (m *MVBT) AggregateFunc(iv Interval, sem Semantics, f Func) (int64, error) {
+	return m.AggregateAcct(iv, sem, f, nil)
+}
+
+// AggregateAcct implements Index, charging the MVBT page accesses of this
+// probe to acct.
+func (m *MVBT) AggregateAcct(iv Interval, sem Semantics, f Func, acct *pagestore.IOAcct) (int64, error) {
 	probes[KindMVBT].Add(1)
 	var acc int64
-	err := m.tree.ScanAt(m.tree.Now(), m.scanLow(iv, sem), iv.End-1, func(ts int64, v mvbt.Value) bool {
+	err := m.tree.ScanAtAcct(m.tree.Now(), m.scanLow(iv, sem), iv.End-1, acct, func(ts int64, v mvbt.Value) bool {
 		if match(Record{Ts: ts, Te: v[0], Agg: v[1]}, iv, sem) {
 			acc = f.fold(acc, v[1])
 		}
