@@ -14,9 +14,10 @@ import (
 
 func main() {
 	var (
-		name  = flag.String("dataset", "GS", "data set name (NYC, LA, GW, GS)")
-		scale = flag.Float64("scale", 0.1, "scale in (0,1]")
-		out   = flag.String("out", ".", "output directory")
+		name   = flag.String("dataset", "GS", "data set name (NYC, LA, GW, GS)")
+		scale  = flag.Float64("scale", 0.1, "scale in (0,1]")
+		out    = flag.String("out", ".", "output directory")
+		stream = flag.String("checkins", "", "also write the time-ordered check-in stream (CSV: poi,id,ts) to this file, for replay through the ingest path")
 	)
 	flag.Parse()
 
@@ -34,6 +35,21 @@ func main() {
 	}
 	fmt.Printf("wrote %d POIs to %s and %d check-ins to %s\n",
 		len(d.POIs), poisPath, d.TotalCheckIns(), checkinsPath)
+	if *stream != "" {
+		f, err := os.Create(*stream)
+		if err != nil {
+			fatal(err)
+		}
+		cs := d.CheckInStream()
+		if err := lbsn.WriteCheckInStream(f, cs); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d-record check-in stream to %s\n", len(cs), *stream)
+	}
 }
 
 func fatal(err error) {

@@ -33,6 +33,7 @@ func main() {
 		plan     = flag.Bool("plan", false, "consult the cost-model planner before answering")
 		group    = flag.String("grouping", "tar", "entry grouping: tar, spa, agg")
 		showIO   = flag.Bool("io", false, "print the per-component I/O breakdown of the query")
+		replay   = flag.String("replay", "", "build an empty index and feed this check-in stream (written by datagen -checkins) through the live ingest path instead of bulk-loading histories")
 	)
 	flag.Parse()
 
@@ -64,9 +65,35 @@ func main() {
 		fatal(fmt.Errorf("unknown grouping %q", *group))
 	}
 	buildStart := time.Now()
-	tr, err := d.Build(lbsn.BuildOptions{Grouping: g})
-	if err != nil {
-		fatal(err)
+	var tr *tartree.Tree
+	if *replay != "" {
+		tr, err = d.BuildEmpty(lbsn.BuildOptions{Grouping: g})
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		cs, err := lbsn.ReadCheckInStream(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		applied, skipped, err := lbsn.ReplayStream(tr, cs)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.FlushAll(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("replayed %d check-ins through the ingest path (%d for non-indexed POIs skipped)\n",
+			applied, skipped)
+	} else {
+		tr, err = d.Build(lbsn.BuildOptions{Grouping: g})
+		if err != nil {
+			fatal(err)
+		}
 	}
 	leaves, internals := tr.NodeCount()
 	fmt.Printf("built %s over %s: %d effective POIs, %d leaf + %d internal nodes, height %d (%v)\n",

@@ -1,11 +1,24 @@
 // Command tarserve builds a TAR-tree over a synthetic LBSN data set and
 // serves kNNTA queries over HTTP, with the full observability surface:
 //
-//	GET /query?x=50&y=50&k=10&alpha=0.3[&days=128][&trace=1]
-//	GET /metrics        Prometheus text exposition of the obs registry
-//	GET /healthz        liveness, uptime, index size
-//	GET /debug/traces   recent and slowest query records with I/O breakdowns
-//	GET /debug/pprof/   standard Go profiling endpoints
+//	GET  /query?x=50&y=50&k=10&alpha=0.3[&days=128][&trace=1]
+//	POST /ingest        durable live check-ins (requires -wal-dir)
+//	GET  /metrics       Prometheus text exposition of the obs registry
+//	GET  /healthz       readiness: 200 "ready" once the index is recovered,
+//	                    503 "recovering" while it is still loading
+//	GET  /debug/traces  recent and slowest query records with I/O breakdowns
+//	GET  /debug/pprof/  standard Go profiling endpoints
+//
+// With -wal-dir the server ingests live check-ins durably: POST /ingest
+// appends to a group-committed write-ahead log and answers 200 only after
+// the batch is fsynced and applied. On startup the index is recovered from
+// the newest checkpoint in the WAL directory plus a log replay; the listener
+// comes up first so /healthz reports "recovering" until the replay is done.
+// Background loops fold elapsed epochs (-flush-every) and write checkpoints
+// (-checkpoint-every) that let the log drop obsolete segments.
+//
+//	POST /ingest {"poi": 17, "ts": 1234567890}
+//	POST /ingest {"checkins": [{"poi": 17, "ts": 100}, {"poi": 9, "ts": 105}]}
 //
 // Per-request structured access logs go to stderr (slog). Queries slower
 // than -slow-query are additionally logged at warn level.
@@ -26,6 +39,7 @@ import (
 	"tartree/internal/core"
 	"tartree/internal/lbsn"
 	"tartree/internal/obs"
+	"tartree/internal/wal"
 )
 
 func main() {
@@ -38,6 +52,11 @@ func main() {
 		nTraces = flag.Int("traces", 64, "query records kept for /debug/traces (0 disables capture)")
 		slowQ   = flag.Duration("slow-query", 250*time.Millisecond, "log queries slower than this at warn level")
 		maxConc = flag.Int("max-concurrent", 0, "admission limit: queries executing at once (0 = GOMAXPROCS); excess requests queue")
+		walDir  = flag.String("wal-dir", "", "enable durable ingestion: write-ahead log and checkpoints live here")
+		ckEvery = flag.Duration("checkpoint-every", 5*time.Minute, "background checkpoint interval (requires -wal-dir)")
+		flEvery = flag.Duration("flush-every", 30*time.Second, "background epoch-flush interval (requires -wal-dir)")
+		replay  = flag.String("replay", "", "seed a fresh WAL with this check-in stream (written by datagen -checkins) through the ingest path; skipped if the WAL already holds data")
+		noSync  = flag.Bool("wal-nosync", false, "skip WAL fsyncs (throughput experiments only: crash durability is lost)")
 	)
 	flag.Parse()
 
@@ -76,26 +95,157 @@ func main() {
 		ring = obs.NewTraceRing(*nTraces)
 		ring.SetSlowLog(log, *slowQ)
 	}
+
+	// The listener comes up before the index: /healthz answers 503
+	// "recovering" (and /metrics works) until finishStartup below.
+	srv := newPendingServer(reg, ring, log, *maxConc)
+	log.Info("listening", "addr", *addr, "max_concurrent", cap(srv.admission))
+	go func() {
+		if err := http.ListenAndServe(*addr, srv); err != nil {
+			fatal(err)
+		}
+	}()
+
 	buildStart := time.Now()
-	tr, err := d.Build(lbsn.BuildOptions{Grouping: g, Metrics: reg, Traces: ring})
+	if *walDir == "" {
+		tr, err := d.Build(lbsn.BuildOptions{Grouping: g, Metrics: reg, Traces: ring})
+		if err != nil {
+			fatal(err)
+		}
+		logIndex(log, tr, buildStart)
+		srv.finishStartup(tr, nil, d.Spec.Start, d.Spec.End)
+		select {}
+	}
+
+	// Durable mode: recover from the newest checkpoint plus a WAL replay.
+	// The base tree — used only when the directory holds no checkpoint —
+	// bulk-loads the historical data set, or starts empty when a -replay
+	// stream will provide the history through the ingest path.
+	fs, err := wal.NewDirFS(*walDir)
 	if err != nil {
 		fatal(err)
 	}
+	base := func() (*core.Tree, error) {
+		if *replay != "" {
+			return d.BuildEmpty(lbsn.BuildOptions{Grouping: g, Metrics: reg, Traces: ring})
+		}
+		return d.Build(lbsn.BuildOptions{Grouping: g, Metrics: reg, Traces: ring})
+	}
+	store, err := wal.OpenStore(fs, base, wal.StoreOptions{
+		Metrics: reg,
+		Traces:  ring,
+		NoSync:  *noSync,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rec := store.Recovery()
+	log.Info("wal recovered",
+		"dir", *walDir,
+		"checkpoint_loaded", rec.CheckpointLoaded,
+		"checkpoint_lsn", rec.CheckpointLSN,
+		"replayed", rec.Replay.Records,
+		"truncated_bytes", rec.Replay.TruncatedBytes,
+		"durable_lsn", store.DurableLSN(),
+	)
+
+	if *replay != "" {
+		if rec.CheckpointLoaded || store.DurableLSN() > 0 {
+			log.Info("replay skipped: WAL already holds data", "file", *replay)
+		} else if err := seedFromStream(store, *replay, log); err != nil {
+			fatal(err)
+		}
+	}
+
+	logIndex(log, store.Tree(), buildStart)
+	srv.finishStartup(store.Tree(), store, d.Spec.Start, d.Spec.End)
+
+	if *flEvery > 0 {
+		go func() {
+			for range time.Tick(*flEvery) {
+				if err := store.FlushObserved(); err != nil {
+					log.Error("epoch flush failed", "err", err)
+				}
+			}
+		}()
+	}
+	if *ckEvery > 0 {
+		go func() {
+			for range time.Tick(*ckEvery) {
+				lsn, err := store.Checkpoint()
+				if err != nil {
+					log.Error("checkpoint failed", "err", err)
+					continue
+				}
+				log.Info("checkpoint written", "lsn", lsn)
+			}
+		}()
+	}
+	select {}
+}
+
+// seedFromStream feeds a datagen -checkins stream through the durable ingest
+// path in batches, skipping check-ins for POIs the index does not carry
+// (below the effectiveness threshold).
+func seedFromStream(store *wal.Store, path string, log *slog.Logger) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	cs, err := lbsn.ReadCheckInStream(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	begin := time.Now()
+	tree := store.Tree()
+	batch := make([]wal.CheckIn, 0, 256)
+	var applied, skipped int64
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if _, err := store.Ingest(batch); err != nil {
+			return err
+		}
+		applied += int64(len(batch))
+		batch = batch[:0]
+		return nil
+	}
+	for _, c := range cs {
+		if _, ok := tree.Lookup(c.POI); !ok {
+			skipped++
+			continue
+		}
+		batch = append(batch, wal.CheckIn{POI: c.POI, At: c.At})
+		if len(batch) == cap(batch) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	log.Info("replayed check-in stream through ingest path",
+		"file", path,
+		"applied", applied,
+		"skipped", skipped,
+		"elapsed", time.Since(begin).Round(time.Millisecond),
+	)
+	return nil
+}
+
+func logIndex(log *slog.Logger, tr *core.Tree, buildStart time.Time) {
 	leaves, internals := tr.NodeCount()
-	log.Info("index built",
-		"grouping", g.String(),
+	log.Info("index ready",
+		"grouping", tr.Grouping().String(),
 		"pois", tr.Len(),
 		"leaves", leaves,
 		"internals", internals,
 		"height", tr.Height(),
 		"elapsed", time.Since(buildStart).Round(time.Millisecond),
 	)
-
-	srv := newServer(tr, reg, ring, log, d.Spec.Start, d.Spec.End, *maxConc)
-	log.Info("listening", "addr", *addr, "max_concurrent", cap(srv.admission))
-	if err := http.ListenAndServe(*addr, srv); err != nil {
-		fatal(err)
-	}
 }
 
 func fatal(err error) {

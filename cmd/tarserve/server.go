@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -15,12 +16,23 @@ import (
 	"tartree/internal/lbsn"
 	"tartree/internal/obs"
 	"tartree/internal/tia"
+	"tartree/internal/wal"
 )
 
 // server answers kNNTA queries over HTTP and exposes the observability
-// surface: /metrics (Prometheus text), /debug/pprof, /healthz.
+// surface: /metrics (Prometheus text), /debug/pprof, /healthz. With a WAL
+// store attached it also accepts durable live check-ins on POST /ingest.
+//
+// The server can start before the index exists: newPendingServer brings the
+// listener up in a "recovering" state where /healthz answers 503 and query
+// and ingest traffic is refused, and finishStartup flips it to ready once
+// recovery (checkpoint load + WAL replay) completes. tree, store, dataStart
+// and dataEnd are written before the ready flag is set and never after, so
+// handlers that observe ready==true see them initialized.
 type server struct {
-	tree   *core.Tree
+	tree   *core.Tree // nil until finishStartup
+	store  *wal.Store // nil: ingestion disabled, queries go straight to tree
+	ready  atomic.Bool
 	reg    *obs.Registry
 	traces *obs.TraceRing // may be nil: /debug/traces then serves empty views
 	log    *slog.Logger
@@ -43,18 +55,26 @@ type server struct {
 	mux      *http.ServeMux
 }
 
+// newServer builds a server that is ready immediately: the tree is already
+// built and there is no WAL store, so ingestion is disabled.
 func newServer(tree *core.Tree, reg *obs.Registry, traces *obs.TraceRing, log *slog.Logger, dataStart, dataEnd int64, maxConcurrent int) *server {
+	s := newPendingServer(reg, traces, log, maxConcurrent)
+	s.finishStartup(tree, nil, dataStart, dataEnd)
+	return s
+}
+
+// newPendingServer builds a server in the recovering state: /healthz answers
+// 503 and /query and /ingest are refused until finishStartup. /metrics,
+// /debug/traces and /debug/pprof work throughout, so recovery is observable.
+func newPendingServer(reg *obs.Registry, traces *obs.TraceRing, log *slog.Logger, maxConcurrent int) *server {
 	if maxConcurrent <= 0 {
 		maxConcurrent = runtime.GOMAXPROCS(0)
 	}
 	s := &server{
-		tree:      tree,
 		reg:       reg,
 		traces:    traces,
 		log:       log,
 		start:     time.Now(),
-		dataStart: dataStart,
-		dataEnd:   dataEnd,
 		admission: make(chan struct{}, maxConcurrent),
 		requests:  reg.Counter("tarserve_http_requests_total"),
 		errors:    reg.Counter("tarserve_http_errors_total"),
@@ -70,9 +90,21 @@ func newServer(tree *core.Tree, reg *obs.Registry, traces *obs.TraceRing, log *s
 		return float64(m.HeapAlloc)
 	})
 	reg.GaugeFunc("tarserve_uptime_seconds", func() float64 { return time.Since(s.start).Seconds() })
-	reg.GaugeFunc("tarserve_indexed_pois", func() float64 { return float64(tree.Len()) })
+	reg.GaugeFunc("tarserve_ready", func() float64 {
+		if s.ready.Load() {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc("tarserve_indexed_pois", func() float64 {
+		if !s.ready.Load() {
+			return 0
+		}
+		return float64(s.tree.Len())
+	})
 
 	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
@@ -84,6 +116,15 @@ func newServer(tree *core.Tree, reg *obs.Registry, traces *obs.TraceRing, log *s
 	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return s
+}
+
+// finishStartup installs the recovered tree (and WAL store, when ingestion
+// is enabled) and flips the server to ready. Call exactly once.
+func (s *server) finishStartup(tree *core.Tree, store *wal.Store, dataStart, dataEnd int64) {
+	s.tree = tree
+	s.store = store
+	s.dataStart, s.dataEnd = dataStart, dataEnd
+	s.ready.Store(true)
 }
 
 // statusWriter remembers the status code for the access log.
@@ -153,6 +194,10 @@ type queryResult struct {
 
 // handleQuery answers GET /query?x=..&y=..[&k=][&alpha=][&start=&end=|&days=][&trace=1].
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		httpError(w, http.StatusServiceUnavailable, errRecovering)
+		return
+	}
 	q, traced, err := s.parseQuery(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -167,7 +212,17 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.admission <- struct{}{} // acquire an execution slot
 	s.queued.Add(-1)
 	s.inflight.Add(1)
-	results, stats, err := s.tree.QueryTraced(q, tr)
+	var (
+		results []core.Result
+		stats   core.QueryStats
+	)
+	if s.store != nil {
+		// Live ingestion is on: queries must hold the store's read lock so
+		// they never observe a half-applied batch.
+		results, stats, err = s.store.QueryTraced(q, tr)
+	} else {
+		results, stats, err = s.tree.QueryTraced(q, tr)
+	}
 	s.inflight.Add(-1)
 	<-s.admission
 	if err != nil {
@@ -254,13 +309,113 @@ func (s *server) parseQuery(r *http.Request) (core.Query, bool, error) {
 	return q, traced, nil
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+var (
+	errRecovering      = fmt.Errorf("recovering: index not ready, retry later")
+	errIngestDisabled  = fmt.Errorf("ingestion disabled: server started without -wal-dir")
+	errIngestEmpty     = fmt.Errorf("no check-ins in request")
+	errIngestBothForms = fmt.Errorf(`use either {"poi","ts"} or {"checkins":[...]}, not both`)
+)
+
+// ingestRequest is the JSON body of POST /ingest: either a single check-in
+// {"poi":17,"ts":1234567890} or a batch {"checkins":[{"poi":..,"ts":..},...]}.
+type ingestRequest struct {
+	POI      *int64       `json:"poi"`
+	Ts       *int64       `json:"ts"`
+	CheckIns []ingestItem `json:"checkins"`
+}
+
+type ingestItem struct {
+	POI int64 `json:"poi"`
+	Ts  int64 `json:"ts"`
+}
+
+// handleIngest durably records live check-ins: a 200 means every check-in in
+// the request survived an fsync of the write-ahead log and is visible to
+// subsequent queries. 503 while recovering or when the server runs without a
+// WAL; 400 for malformed bodies, unknown POIs and pre-origin timestamps.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		httpError(w, http.StatusServiceUnavailable, errRecovering)
+		return
+	}
+	if s.store == nil {
+		httpError(w, http.StatusServiceUnavailable, errIngestDisabled)
+		return
+	}
+	var req ingestRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	single := req.POI != nil || req.Ts != nil
+	if single && len(req.CheckIns) > 0 {
+		httpError(w, http.StatusBadRequest, errIngestBothForms)
+		return
+	}
+	var cs []wal.CheckIn
+	if single {
+		if req.POI == nil || req.Ts == nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf(`both "poi" and "ts" are required`))
+			return
+		}
+		cs = []wal.CheckIn{{POI: *req.POI, At: *req.Ts}}
+	} else {
+		if len(req.CheckIns) == 0 {
+			httpError(w, http.StatusBadRequest, errIngestEmpty)
+			return
+		}
+		cs = make([]wal.CheckIn, len(req.CheckIns))
+		for i, c := range req.CheckIns {
+			cs[i] = wal.CheckIn{POI: c.POI, At: c.Ts}
+		}
+	}
+	begin := time.Now()
+	lsn, err := s.store.Ingest(cs)
+	if err != nil {
+		if errors.Is(err, wal.ErrInvalid) {
+			httpError(w, http.StatusBadRequest, err)
+		} else {
+			// Durability failure: the WAL could not persist the batch, so
+			// nothing was acknowledged or applied.
+			s.log.Error("ingest failed", "err", err, "checkins", len(cs))
+			httpError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
+		"count":      len(cs),
+		"lsn":        lsn,
+		"elapsed_us": time.Since(begin).Microseconds(),
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":         "recovering",
+			"uptime_seconds": time.Since(s.start).Seconds(),
+		})
+		return
+	}
+	resp := map[string]any{
+		"status":         "ready",
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"indexed_pois":   s.tree.Len(),
 		"grouping":       s.tree.Grouping().String(),
-	})
+	}
+	if s.store != nil {
+		var pending int64
+		s.store.View(func(t *core.Tree) { pending = t.PendingCheckIns() })
+		resp["wal"] = map[string]any{
+			"durable_lsn":      s.store.DurableLSN(),
+			"applied_lsn":      s.store.AppliedLSN(),
+			"checkpoint_lsn":   s.store.CheckpointLSN(),
+			"pending_checkins": pending,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleTraces serves the capture ring: the most recent and the slowest

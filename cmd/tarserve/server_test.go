@@ -286,7 +286,7 @@ func TestServeBadRequests(t *testing.T) {
 func TestServeHealthzAndPprof(t *testing.T) {
 	s, _ := newTestServer(t)
 	code, body := get(t, s, "/healthz")
-	if code != 200 || !strings.Contains(body, `"ok"`) {
+	if code != 200 || !strings.Contains(body, `"ready"`) {
 		t.Errorf("healthz: %d %s", code, body)
 	}
 	code, body = get(t, s, "/debug/pprof/cmdline")

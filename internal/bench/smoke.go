@@ -95,5 +95,9 @@ func Smoke(cfg Config) ([]Table, error) {
 			fmt.Sprintf("%.0f", qps),
 		})
 	}
-	return []Table{t}, nil
+	it, err := smokeIngest(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []Table{t, it}, nil
 }

@@ -330,6 +330,11 @@ func (t *Tree) scaled(x, y float64) geo.Vector {
 // Epochs returns the time discretization in use.
 func (t *Tree) Epochs() Epochs { return t.opts.Epochs }
 
+// Clock returns the largest timestamp the tree has observed (check-ins,
+// inserted history, explicit flush horizons). Live ingestion uses it as
+// "now" when deciding which epochs have fully elapsed.
+func (t *Tree) Clock() int64 { return t.clock }
+
 // epochsElapsed returns m, the number of epochs in [t0, tc].
 func (t *Tree) epochsElapsed() int64 {
 	return t.opts.Epochs.Count(t.clock)

@@ -4,8 +4,10 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"tartree/internal/geo"
+	"tartree/internal/obs"
 	"tartree/internal/tia"
 )
 
@@ -28,6 +30,11 @@ type snapshot struct {
 	Geometric   bool
 	Clock       int64
 	POIs        []snapshotPOI
+	// Pending carries the buffered, not yet flushed check-ins (since
+	// version 2), so a save/load cycle loses nothing: a snapshot taken
+	// mid-epoch restores with the same PendingCheckIns and flushes to the
+	// same aggregates.
+	Pending []snapshotEpoch
 }
 
 type snapshotPOI struct {
@@ -36,15 +43,19 @@ type snapshotPOI struct {
 	Records []tia.Record
 }
 
-const snapshotVersion = 1
+// snapshotEpoch is one buffered epoch of pending check-ins.
+type snapshotEpoch struct {
+	Start, End int64
+	POIs       []int64
+	Counts     []int64
+}
 
-// SaveSnapshot serializes the tree (POIs, histories, configuration) so a
-// later process can LoadSnapshot it without replaying the check-in stream.
-// Pending (unflushed) check-ins are not included; call FlushAll first.
+const snapshotVersion = 2
+
+// SaveSnapshot serializes the tree (POIs, histories, configuration, and any
+// pending check-ins) so a later process can LoadSnapshot it without
+// replaying the check-in stream.
 func (t *Tree) SaveSnapshot(w io.Writer) error {
-	if n := t.PendingCheckIns(); n > 0 {
-		return fmt.Errorf("core: %d check-ins pending; FlushAll before saving", n)
-	}
 	s := snapshot{
 		Version:   snapshotVersion,
 		World:     [4]float64{t.opts.World.Min[0], t.opts.World.Min[1], t.opts.World.Max[0], t.opts.World.Max[1]},
@@ -71,18 +82,52 @@ func (t *Tree) SaveSnapshot(w io.Writer) error {
 			Records: append([]tia.Record(nil), st.data.mirror.Records()...),
 		})
 	}
+	for ep, counts := range t.pending {
+		se := snapshotEpoch{Start: ep.Start, End: ep.End}
+		for id, c := range counts {
+			se.POIs = append(se.POIs, id)
+			se.Counts = append(se.Counts, c)
+		}
+		sortEpochPOIs(&se)
+		s.Pending = append(s.Pending, se)
+	}
+	sort.Slice(s.Pending, func(i, j int) bool { return s.Pending[i].Start < s.Pending[j].Start })
 	return gob.NewEncoder(w).Encode(&s)
+}
+
+// sortEpochPOIs orders one pending epoch's parallel slices by POI id so
+// snapshots of the same tree encode identically.
+func sortEpochPOIs(se *snapshotEpoch) {
+	idx := make([]int, len(se.POIs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return se.POIs[idx[a]] < se.POIs[idx[b]] })
+	pois := make([]int64, len(idx))
+	counts := make([]int64, len(idx))
+	for i, j := range idx {
+		pois[i], counts[i] = se.POIs[j], se.Counts[j]
+	}
+	se.POIs, se.Counts = pois, counts
 }
 
 // LoadSnapshot reconstructs a tree saved with SaveSnapshot. The TIA factory
 // is supplied fresh (disk state is rebuilt, not deserialized); nil selects
 // the default. The index is bulk-rebuilt for spatial groupings.
 func LoadSnapshot(r io.Reader, factory tia.Factory) (*Tree, error) {
+	return LoadSnapshotObserved(r, factory, nil, nil)
+}
+
+// LoadSnapshotObserved is LoadSnapshot with instrumentation: the rebuilt
+// tree publishes metrics and trace records as if it had been created with
+// Options.Metrics/Options.Traces set. The WAL recovery path uses it so a
+// restored server keeps its observability surface.
+func LoadSnapshotObserved(r io.Reader, factory tia.Factory, metrics *obs.Registry, traces *obs.TraceRing) (*Tree, error) {
 	var s snapshot
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
 	}
-	if s.Version != snapshotVersion {
+	if s.Version < 1 || s.Version > snapshotVersion {
 		return nil, fmt.Errorf("core: unsupported snapshot version %d", s.Version)
 	}
 	opts := Options{
@@ -92,6 +137,8 @@ func LoadSnapshot(r io.Reader, factory tia.Factory) (*Tree, error) {
 		Semantics: s.Semantics,
 		AggFunc:   s.AggFunc,
 		TIA:       factory,
+		Metrics:   metrics,
+		Traces:    traces,
 	}
 	if s.Geometric {
 		opts.Epochs = GeometricEpochs{Start: s.EpochStart, First: s.EpochLength}
@@ -109,6 +156,14 @@ func LoadSnapshot(r io.Reader, factory tia.Factory) (*Tree, error) {
 		}
 	}
 	t.observe(s.Clock) // inserting history may have rewound nothing; re-pin
+	for _, se := range s.Pending {
+		ep := tia.Interval{Start: se.Start, End: se.End}
+		m := make(map[int64]int64, len(se.POIs))
+		for i, id := range se.POIs {
+			m[id] = se.Counts[i]
+		}
+		t.pending[ep] = m
+	}
 	if t.opts.Grouping != IndAgg {
 		if err := t.RebuildBulk(); err != nil {
 			return nil, err

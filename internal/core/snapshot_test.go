@@ -68,17 +68,72 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
-func TestSnapshotRejectsPending(t *testing.T) {
-	tr := mustTree(t, defaultOpts(TAR3D))
-	tr.InsertPOI(POI{ID: 1, X: 1, Y: 1}, nil)
-	tr.AddCheckIn(1, 5)
-	var buf bytes.Buffer
-	if err := tr.SaveSnapshot(&buf); err == nil {
-		t.Fatal("snapshot with pending check-ins accepted")
-	}
-	tr.FlushAll()
-	if err := tr.SaveSnapshot(&buf); err != nil {
-		t.Fatal(err)
+// TestSnapshotPreservesPending pins the no-check-in-loss property through a
+// snapshot+recover cycle: check-ins buffered but not yet flushed must
+// survive SaveSnapshot/LoadSnapshot and fold into the same aggregates as on
+// the original tree. (Before snapshot version 2, SaveSnapshot refused trees
+// with pending check-ins, forcing every checkpoint to flush first.)
+func TestSnapshotPreservesPending(t *testing.T) {
+	for _, g := range []Grouping{TAR3D, IndSpa, IndAgg} {
+		t.Run(g.String(), func(t *testing.T) {
+			tr := mustTree(t, defaultOpts(g))
+			for id := int64(1); id <= 5; id++ {
+				if err := tr.InsertPOI(POI{ID: id, X: float64(id) * 3, Y: float64(id) * 7}, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Buffer check-ins across two epochs without flushing.
+			for i := 0; i < 30; i++ {
+				id := int64(i%5 + 1)
+				if err := tr.AddCheckIn(id, int64(i*5)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := tr.PendingCheckIns()
+			if want == 0 {
+				t.Fatal("test produced no pending check-ins")
+			}
+
+			var buf bytes.Buffer
+			if err := tr.SaveSnapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got, err := LoadSnapshot(&buf, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := got.PendingCheckIns(); n != want {
+				t.Fatalf("restored tree has %d pending check-ins, want %d", n, want)
+			}
+
+			// Flushing both trees must yield identical aggregates.
+			if err := tr.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+			if err := got.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+			if n := got.PendingCheckIns(); n != 0 {
+				t.Fatalf("restored tree still has %d pending after FlushAll", n)
+			}
+			iv := tia.Interval{Start: 0, End: 1000}
+			for id := int64(1); id <= 5; id++ {
+				a, err := tr.Aggregate(id, iv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := got.Aggregate(id, iv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a != b {
+					t.Errorf("POI %d: aggregate %d after restore, want %d", id, b, a)
+				}
+			}
+			if err := got.Check(); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 

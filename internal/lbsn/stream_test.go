@@ -1,0 +1,135 @@
+package lbsn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"tartree/internal/tia"
+)
+
+func TestCheckInStreamDeterministicAndSorted(t *testing.T) {
+	d, err := Generate(NYC.Scaled(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.CheckInStream()
+	b := d.CheckInStream()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("stream lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stream not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].ID != int64(i+1) {
+			t.Fatalf("stream ID %d at position %d", a[i].ID, i)
+		}
+		if i > 0 && (a[i].At < a[i-1].At || (a[i].At == a[i-1].At && a[i].POI < a[i-1].POI)) {
+			t.Fatalf("stream out of order at %d", i)
+		}
+	}
+	if got := int64(len(a)); got != d.TotalCheckIns() {
+		t.Fatalf("stream has %d check-ins, data set %d", got, d.TotalCheckIns())
+	}
+}
+
+func TestCheckInStreamCSVRoundTrip(t *testing.T) {
+	d, err := Generate(LA.Scaled(0.005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := d.CheckInStream()
+	var buf bytes.Buffer
+	if err := WriteCheckInStream(&buf, cs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckInStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cs) {
+		t.Fatalf("round trip %d of %d records", len(got), len(cs))
+	}
+	for i := range cs {
+		if got[i] != cs[i] {
+			t.Fatalf("record %d: %+v vs %+v", i, got[i], cs[i])
+		}
+	}
+}
+
+// TestStreamReplayMatchesBulkBuild pins the ingestion-path equivalence: an
+// empty tree fed the full check-in stream and flushed answers queries
+// identically to the bulk-built tree.
+func TestStreamReplayMatchesBulkBuild(t *testing.T) {
+	d, err := Generate(GS.Scaled(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk, err := d.Build(BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := d.BuildEmpty(BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Len() != bulk.Len() {
+		t.Fatalf("effective POIs: %d live vs %d bulk", live.Len(), bulk.Len())
+	}
+	applied, skipped, err := ReplayStream(live, d.CheckInStream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied == 0 {
+		t.Fatal("replay applied nothing")
+	}
+	if applied+skipped != d.TotalCheckIns() {
+		t.Fatalf("applied %d + skipped %d != total %d", applied, skipped, d.TotalCheckIns())
+	}
+	if err := live.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Per-POI aggregates over the whole span agree.
+	iv := tia.Interval{Start: d.Spec.Start, End: d.Spec.End + 7*Day}
+	for _, p := range d.POIs {
+		if _, ok := bulk.Lookup(p.ID); !ok {
+			continue
+		}
+		a, err := bulk.Aggregate(p.ID, iv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := live.Aggregate(p.ID, iv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("POI %d: bulk aggregate %d, replayed %d", p.ID, a, b)
+		}
+	}
+	// Query results agree.
+	for _, q := range d.Queries(10, 5, 0.3, 77) {
+		want, _, err := bulk.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := live.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(got) {
+			t.Fatalf("result counts %d vs %d", len(want), len(got))
+		}
+		scores := make(map[int64]float64, len(want))
+		for _, r := range want {
+			scores[r.POI.ID] = r.Score
+		}
+		for _, r := range got {
+			w, ok := scores[r.POI.ID]
+			if !ok || math.Abs(w-r.Score) > 1e-9 {
+				t.Fatalf("POI %d score %.12f, bulk %.12f (ok=%v)", r.POI.ID, r.Score, w, ok)
+			}
+		}
+	}
+}

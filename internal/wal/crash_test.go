@@ -1,0 +1,208 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+)
+
+// crashWorkload drives a store through ingest + flush + checkpoint until it
+// finishes or the FaultFS kills it. It returns how many corpus records were
+// acknowledged durable before the crash. The workload is single-writer so
+// acknowledged record i carries LSN i+1, which lets the harness resume the
+// corpus precisely after recovery.
+func crashWorkload(fs FS, cs []CheckIn) (acked int) {
+	s, err := OpenStore(fs, newBaseTree, StoreOptions{SegmentBytes: 24 * frameSize})
+	if err != nil {
+		return 0
+	}
+	defer s.Close()
+	for i, c := range cs {
+		if _, err := s.Ingest([]CheckIn{c}); err != nil {
+			return i
+		}
+		acked = i + 1
+		if acked%97 == 0 {
+			// Flush epochs well behind the stream head (pure tree work).
+			if err := s.FlushEpochs(c.At - 2*testEpochLn); err != nil {
+				return acked
+			}
+		}
+		if acked%151 == 0 {
+			if _, err := s.Checkpoint(); err != nil {
+				return acked
+			}
+		}
+	}
+	s.Checkpoint()
+	return acked
+}
+
+// TestCrashRecoveryKillPoints is the fault-injection proof of the WAL's
+// durability contract: crash the store at budgets aimed at every I/O class —
+// mid-append (torn frame), mid-fsync, mid-segment-rotation, mid-checkpoint
+// (tmp write, rename, old-file removal), mid-truncate — then recover on a
+// clean FS, resume the rest of the corpus, and require query results
+// identical to a never-crashed reference. No acknowledged check-in may be
+// lost at any crash point.
+func TestCrashRecoveryKillPoints(t *testing.T) {
+	cs := corpus(500, 21)
+	horizon := int64(500*3 + 2*testEpochLn)
+	ref := referenceTree(t, cs, horizon)
+
+	// Counting run: record the unit offset of every operation class.
+	countDir := t.TempDir()
+	countFS, err := NewDirFS(countDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := NewFaultFS(countFS, -1)
+	if got := crashWorkload(counter, cs); got != len(cs) {
+		t.Fatalf("counting run acked %d of %d", got, len(cs))
+	}
+	trace := counter.Trace()
+	if len(trace) == 0 {
+		t.Fatal("empty fault trace")
+	}
+
+	// Aim crash budgets at the first, middle and last occurrence of every
+	// class, both at the operation's start and torn partway into it.
+	byOp := make(map[Op][]OpPoint)
+	for _, p := range trace {
+		byOp[p.Op] = append(byOp[p.Op], p)
+	}
+	total := counter.Used()
+	seen := make(map[int64]bool)
+	var budgets []int64
+	for op, points := range byOp {
+		picks := []OpPoint{points[0], points[len(points)/2], points[len(points)-1]}
+		for _, p := range picks {
+			for _, b := range []int64{p.Used, p.Used + 13} {
+				// A budget at or past the workload's total I/O never fires.
+				if b >= 0 && b < total && !seen[b] {
+					seen[b] = true
+					budgets = append(budgets, b)
+				}
+			}
+		}
+		if len(points) < 3 {
+			t.Logf("op %s hit only %d times", op, len(points))
+		}
+	}
+	wantOps := []Op{OpWrite, OpSync, OpCreate, OpRemove, OpRename, OpSyncDir}
+	for _, op := range wantOps {
+		if len(byOp[op]) == 0 {
+			t.Errorf("workload never exercised op class %q", op)
+		}
+	}
+
+	for _, budget := range budgets {
+		budget := budget
+		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			dirFS, err := NewDirFS(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			faulty := NewFaultFS(dirFS, budget)
+			acked := crashWorkload(faulty, cs)
+			if !faulty.Crashed() {
+				t.Fatalf("budget %d did not crash the workload", budget)
+			}
+
+			// "Reboot": recover on the plain FS over the surviving files.
+			s, err := OpenStore(dirFS, newBaseTree, StoreOptions{NoSync: true})
+			if err != nil {
+				t.Fatalf("recovery failed after crash at budget %d: %v", budget, err)
+			}
+			defer s.Close()
+			applied := int(s.AppliedLSN())
+			if acked > applied {
+				t.Fatalf("LOST %d acknowledged check-ins: acked %d, recovered %d",
+					acked-applied, acked, applied)
+			}
+			if applied > len(cs) {
+				t.Fatalf("recovered %d records from a %d-record corpus", applied, len(cs))
+			}
+			// Resume the stream where the durable prefix ends (records past
+			// acked but on disk were simply un-acknowledged; replaying them
+			// from the corpus would double-count).
+			for _, c := range cs[applied:] {
+				if _, err := s.Ingest([]CheckIn{c}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.FlushEpochs(horizon); err != nil {
+				t.Fatal(err)
+			}
+			assertTreesAgree(t, s, ref, horizon)
+		})
+	}
+	t.Logf("%d kill points across %d op classes", len(budgets), len(byOp))
+}
+
+// TestCrashDuringRecoveryCheckpointing crashes a second time while the
+// recovered store is checkpointing, then recovers again — recovery must be
+// idempotent and never regress the durable prefix.
+func TestCrashDoubleFault(t *testing.T) {
+	cs := corpus(300, 22)
+	horizon := int64(300*3 + 2*testEpochLn)
+	ref := referenceTree(t, cs, horizon)
+
+	dir := t.TempDir()
+	dirFS, err := NewDirFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First crash mid-run.
+	first := NewFaultFS(dirFS, 2500)
+	acked := crashWorkload(first, cs)
+	if !first.Crashed() {
+		t.Skip("budget too large for this corpus")
+	}
+
+	// Second run recovers, continues, crashes again a little later.
+	second := NewFaultFS(dirFS, 4000)
+	s2, err := OpenStore(second, newBaseTree, StoreOptions{SegmentBytes: 24 * frameSize})
+	var acked2 int
+	if err == nil {
+		acked2 = int(s2.AppliedLSN())
+		for _, c := range cs[acked2:] {
+			if _, err := s2.Ingest([]CheckIn{c}); err != nil {
+				break
+			}
+			acked2++
+			if acked2%131 == 0 {
+				if _, err := s2.Checkpoint(); err != nil {
+					break
+				}
+			}
+		}
+		s2.Close()
+	}
+	if acked2 < acked {
+		// The second run recovered everything the first acked before its own
+		// crash, so its ack watermark can only move forward.
+		t.Fatalf("second run regressed: acked %d < first run's %d", acked2, acked)
+	}
+
+	// Final recovery on the healthy FS.
+	s3, err := OpenStore(dirFS, newBaseTree, StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	applied := int(s3.AppliedLSN())
+	if acked2 > applied {
+		t.Fatalf("lost %d acknowledged check-ins across double fault", acked2-applied)
+	}
+	for _, c := range cs[applied:] {
+		if _, err := s3.Ingest([]CheckIn{c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s3.FlushEpochs(horizon); err != nil {
+		t.Fatal(err)
+	}
+	assertTreesAgree(t, s3, ref, horizon)
+}

@@ -1,0 +1,202 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strings"
+)
+
+// ErrCorrupt reports unrecoverable log damage: a bad frame in a segment
+// that is not the final one, a segment header that doesn't match its file
+// name, or a gap in the LSN sequence. A torn tail on the final segment is
+// NOT corruption — recovery repairs it by truncating.
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// recover scans the on-disk segments, replays records with LSN > after
+// through apply, repairs a torn tail, and positions nextLSN. Called once
+// from OpenLog before the committer starts.
+func (l *Log) recover(after uint64, apply func(lsn uint64, c CheckIn) error) error {
+	names, err := l.fs.List()
+	if err != nil {
+		return err
+	}
+	var segs []segmentInfo
+	for _, name := range names {
+		if first, ok := parseSegmentName(name); ok {
+			segs = append(segs, segmentInfo{name: name, first: first})
+		}
+	}
+	// List is sorted and the fixed-width decimal names sort by LSN.
+	l.nextLSN = after + 1
+	if len(segs) == 0 {
+		if l.nextLSN == 0 {
+			l.nextLSN = 1
+		}
+		return nil
+	}
+
+	expect := segs[0].first
+	if expect > after+1 {
+		return fmt.Errorf("%w: first segment %s starts at LSN %d, need %d (checkpoint gap)",
+			ErrCorrupt, segs[0].name, expect, after+1)
+	}
+	var survive []segmentInfo
+	for i, seg := range segs {
+		final := i == len(segs)-1
+		if seg.first != expect {
+			return fmt.Errorf("%w: segment %s starts at LSN %d, expected %d",
+				ErrCorrupt, seg.name, seg.first, expect)
+		}
+		next, removed, err := l.replaySegment(seg, expect, after, final, apply)
+		if err != nil {
+			return err
+		}
+		if !removed {
+			survive = append(survive, seg)
+		}
+		expect = next
+	}
+	if expect < after+1 {
+		// Defensive: the checkpoint claims LSNs the log no longer holds.
+		// Never reissue them.
+		expect = after + 1
+	}
+	l.nextLSN = expect
+	// OpenLog opens a fresh segment at nextLSN next; if the last survivor is
+	// an empty segment with that very first LSN (a restart that crashed
+	// before any append), the fresh segment recreates the same file — drop
+	// the stale entry so it isn't tracked twice.
+	if n := len(survive); n > 0 && survive[n-1].first == l.nextLSN {
+		survive = survive[:n-1]
+	}
+	l.segments = survive
+	l.m.replayed(&l.replay)
+	return nil
+}
+
+// replaySegment replays one segment starting at LSN expect and returns the
+// LSN expected next, plus whether the segment file was removed outright. On
+// the final segment a malformed frame is treated as a torn tail: the file is
+// truncated at the end of the last good frame and the scan stops.
+func (l *Log) replaySegment(seg segmentInfo, expect, after uint64, final bool, apply func(lsn uint64, c CheckIn) error) (uint64, bool, error) {
+	l.replay.Segments++
+	f, err := l.fs.Open(seg.name)
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+
+	var hdr [segHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		// A header too short to read can only be the torn creation of the
+		// final segment; anywhere else it is corruption.
+		if final && (err == io.EOF || err == io.ErrUnexpectedEOF) {
+			return expect, true, l.dropTail(seg.name, 0)
+		}
+		return 0, false, fmt.Errorf("%w: segment %s: short header", ErrCorrupt, seg.name)
+	}
+	if string(hdr[:8]) != segMagic {
+		if final {
+			return expect, true, l.dropTail(seg.name, 0)
+		}
+		return 0, false, fmt.Errorf("%w: segment %s: bad magic", ErrCorrupt, seg.name)
+	}
+	if first := binary.LittleEndian.Uint64(hdr[8:]); first != seg.first {
+		return 0, false, fmt.Errorf("%w: segment %s: header LSN %d != name", ErrCorrupt, seg.name, first)
+	}
+
+	offset := int64(segHeaderSize)
+	var frame [frameSize]byte
+	for {
+		_, err := io.ReadFull(r, frame[:frameHeaderSize])
+		if err == io.EOF {
+			return expect, false, nil // clean end of segment
+		}
+		bad := ""
+		var lsn uint64
+		var c CheckIn
+		switch {
+		case err == io.ErrUnexpectedEOF:
+			bad = "short frame header"
+		case err != nil:
+			return 0, false, err
+		default:
+			length := binary.LittleEndian.Uint32(frame[0:])
+			crc := binary.LittleEndian.Uint32(frame[4:])
+			if length != recordPayload {
+				bad = fmt.Sprintf("frame length %d", length)
+				break
+			}
+			if _, err := io.ReadFull(r, frame[frameHeaderSize:]); err != nil {
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					bad = "short payload"
+					break
+				}
+				return 0, false, err
+			}
+			if crc32.Checksum(frame[frameHeaderSize:], castagnoli) != crc {
+				bad = "CRC mismatch"
+				break
+			}
+			lsn = binary.LittleEndian.Uint64(frame[frameHeaderSize:])
+			c.POI = int64(binary.LittleEndian.Uint64(frame[frameHeaderSize+8:]))
+			c.At = int64(binary.LittleEndian.Uint64(frame[frameHeaderSize+16:]))
+			if lsn != expect {
+				bad = fmt.Sprintf("LSN %d, expected %d", lsn, expect)
+			}
+		}
+		if bad != "" {
+			if !final {
+				return 0, false, fmt.Errorf("%w: segment %s at offset %d: %s", ErrCorrupt, seg.name, offset, bad)
+			}
+			return expect, false, l.dropTail(seg.name, offset)
+		}
+		if lsn > after {
+			if err := apply(lsn, c); err != nil {
+				return 0, false, fmt.Errorf("wal: replaying LSN %d: %w", lsn, err)
+			}
+			l.replay.Records++
+		} else {
+			l.replay.Skipped++
+		}
+		expect++
+		offset += frameSize
+	}
+}
+
+// dropTail truncates the final segment at offset, discarding a torn tail
+// (offset 0 removes the file entirely — its header never became whole).
+func (l *Log) dropTail(name string, offset int64) error {
+	size, err := l.fs.Size(name)
+	if err != nil {
+		return err
+	}
+	if size > offset {
+		l.replay.TruncatedBytes += size - offset
+	}
+	if offset == 0 {
+		if err := l.fs.Remove(name); err != nil {
+			return err
+		}
+		return l.fs.SyncDir()
+	}
+	return l.fs.Truncate(name, offset)
+}
+
+// DescribeReplay renders the stats as one human-readable line.
+func (s ReplayStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d segment(s), %d record(s) replayed", s.Segments, s.Records)
+	if s.Skipped > 0 {
+		fmt.Fprintf(&b, ", %d skipped", s.Skipped)
+	}
+	if s.TruncatedBytes > 0 {
+		fmt.Fprintf(&b, ", %d torn byte(s) truncated", s.TruncatedBytes)
+	}
+	return b.String()
+}
