@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,7 @@ func main() {
 		group    = flag.String("grouping", "tar", "entry grouping: tar, spa, agg")
 		showIO   = flag.Bool("io", false, "print the per-component I/O breakdown of the query")
 		replay   = flag.String("replay", "", "build an empty index and feed this check-in stream (written by datagen -checkins) through the live ingest path instead of bulk-loading histories")
+		cacheB   = flag.Int64("cache-bytes", 64<<20, "shared aggregate/result cache size in bytes (0 disables)")
 	)
 	flag.Parse()
 
@@ -64,10 +66,11 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown grouping %q", *group))
 	}
+	cache := tartree.NewCache(*cacheB) // nil when disabled
 	buildStart := time.Now()
 	var tr *tartree.Tree
 	if *replay != "" {
-		tr, err = d.BuildEmpty(lbsn.BuildOptions{Grouping: g})
+		tr, err = d.BuildEmpty(lbsn.BuildOptions{Grouping: g, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
@@ -90,7 +93,7 @@ func main() {
 		fmt.Printf("replayed %d check-ins through the ingest path (%d for non-indexed POIs skipped)\n",
 			applied, skipped)
 	} else {
-		tr, err = d.Build(lbsn.BuildOptions{Grouping: g})
+		tr, err = d.Build(lbsn.BuildOptions{Grouping: g, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
@@ -120,7 +123,7 @@ func main() {
 	}
 
 	start := time.Now()
-	results, stats, err := tr.Query(q)
+	results, stats, err := tr.QueryCtx(context.Background(), q, nil)
 	if err != nil {
 		fatal(err)
 	}
@@ -172,6 +175,11 @@ func printIOBreakdown(stats tartree.QueryStats) {
 		total.Evictions += cell.Evictions
 	})
 	fmt.Printf("%-16s %5s  %8d  %8d  %9d\n", "total", "", total.Hits, total.Misses, total.Evictions)
+	fmt.Printf("cache: %d hits, %d misses", stats.CacheHits, stats.CacheMisses)
+	if stats.ResultCacheHit {
+		fmt.Printf(" (whole result served from cache)")
+	}
+	fmt.Println()
 }
 
 func fatal(err error) {

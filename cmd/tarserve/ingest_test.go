@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"tartree/internal/aggcache"
 	"tartree/internal/core"
 	"tartree/internal/lbsn"
 	"tartree/internal/obs"
@@ -17,7 +18,7 @@ import (
 
 // newWALTestServer builds a ready server whose ingestion path is backed by a
 // WAL store in dir, plus the data set it indexes.
-func newWALTestServer(t *testing.T, dir string) (*server, *lbsn.Dataset, *wal.Store) {
+func newWALTestServer(t *testing.T, dir string, cache *aggcache.Cache) (*server, *lbsn.Dataset, *wal.Store) {
 	t.Helper()
 	spec, err := lbsn.SpecByName("GS")
 	if err != nil {
@@ -34,8 +35,8 @@ func newWALTestServer(t *testing.T, dir string) (*server, *lbsn.Dataset, *wal.St
 		t.Fatal(err)
 	}
 	store, err := wal.OpenStore(fs, func() (*core.Tree, error) {
-		return d.Build(lbsn.BuildOptions{Metrics: reg, Traces: ring})
-	}, wal.StoreOptions{Metrics: reg, Traces: ring})
+		return d.Build(lbsn.BuildOptions{Metrics: reg, Traces: ring, Cache: cache})
+	}, wal.StoreOptions{Metrics: reg, Traces: ring, Cache: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,6 +68,66 @@ func indexedPOI(t *testing.T, s *server, d *lbsn.Dataset) int64 {
 	return 0
 }
 
+// TestServeIngestInvalidatesCache closes the loop between durable ingestion
+// and the shared cache: a warm whole-result hit, then one live check-in
+// through POST /v1/ingest, after which the same query may not be served
+// stale — the ingest apply bumped the cache version. A store restart over
+// the same WAL replays the check-in and must bump the version again, so
+// recovery can never resurrect stale cached answers either.
+func TestServeIngestInvalidatesCache(t *testing.T) {
+	dir := t.TempDir()
+	cache := aggcache.New(1 << 20)
+	s, d, store := newWALTestServer(t, dir, cache)
+	poi := indexedPOI(t, s, d)
+	const url = "/v1/query?x=50&y=50&k=5&days=128"
+
+	var warm, after queryResponse
+	if code, body := get(t, s, url); code != 200 {
+		t.Fatalf("cold query: %d %s", code, body)
+	}
+	code, body := get(t, s, url)
+	if code != 200 {
+		t.Fatalf("warm query: %d %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Stats.ResultCacheHit {
+		t.Fatalf("repeat query not served from the cache: %+v", warm.Stats)
+	}
+
+	version := cache.Version()
+	if code, body := post(t, s, "/v1/ingest", fmt.Sprintf(`{"poi":%d,"ts":%d}`, poi, d.Spec.End+100)); code != 200 {
+		t.Fatalf("ingest: %d %s", code, body)
+	}
+	if cache.Version() <= version {
+		t.Fatalf("ingest did not bump the cache version (%d -> %d)", version, cache.Version())
+	}
+	code, body = get(t, s, url)
+	if code != 200 {
+		t.Fatalf("post-ingest query: %d %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Stats.ResultCacheHit {
+		t.Errorf("stale cached result served after ingest: %+v", after.Stats)
+	}
+
+	// WAL replay is an ingest apply too: recovery over the same directory
+	// must advance the version past everything cached before the restart.
+	version = cache.Version()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, store2 := newWALTestServer(t, dir, cache); store2.Recovery().Replay.Records == 0 {
+		t.Fatal("restart replayed nothing")
+	}
+	if cache.Version() <= version {
+		t.Errorf("WAL replay did not bump the cache version (%d -> %d)", version, cache.Version())
+	}
+}
+
 // TestServeRecoveringThenReady pins the readiness lifecycle: before
 // finishStartup the server refuses queries and ingestion and /healthz
 // answers 503 "recovering"; afterwards it answers 200 "ready".
@@ -84,10 +145,10 @@ func TestServeRecoveringThenReady(t *testing.T) {
 	if code != 503 || !strings.Contains(body, `"recovering"`) {
 		t.Errorf("recovering healthz: %d %s", code, body)
 	}
-	if code, body := get(t, s, "/query?x=50&y=50"); code != 503 {
+	if code, body := get(t, s, "/v1/query?x=50&y=50"); code != 503 {
 		t.Errorf("query while recovering: %d %s", code, body)
 	}
-	if code, body := post(t, s, "/ingest", `{"poi":1,"ts":1}`); code != 503 {
+	if code, body := post(t, s, "/v1/ingest", `{"poi":1,"ts":1}`); code != 503 {
 		t.Errorf("ingest while recovering: %d %s", code, body)
 	}
 	// Observability stays up throughout recovery.
@@ -109,7 +170,7 @@ func TestServeRecoveringThenReady(t *testing.T) {
 	if code != 200 || !strings.Contains(body, `"ready"`) {
 		t.Errorf("ready healthz: %d %s", code, body)
 	}
-	if code, body := get(t, s, "/query?x=50&y=50&k=5&days=128"); code != 200 {
+	if code, body := get(t, s, "/v1/query?x=50&y=50&k=5&days=128"); code != 200 {
 		t.Errorf("query once ready: %d %s", code, body)
 	}
 	_, metrics = get(t, s, "/metrics")
@@ -122,7 +183,7 @@ func TestServeRecoveringThenReady(t *testing.T) {
 // refuses ingestion with 503, not 404.
 func TestServeIngestDisabledWithoutWAL(t *testing.T) {
 	s, _ := newTestServer(t)
-	code, body := post(t, s, "/ingest", `{"poi":1,"ts":1}`)
+	code, body := post(t, s, "/v1/ingest", `{"poi":1,"ts":1}`)
 	if code != 503 || !strings.Contains(body, "ingestion disabled") {
 		t.Errorf("ingest without WAL: %d %s", code, body)
 	}
@@ -134,11 +195,11 @@ func TestServeIngestDisabledWithoutWAL(t *testing.T) {
 // store restart.
 func TestServeIngest(t *testing.T) {
 	dir := t.TempDir()
-	s, d, store := newWALTestServer(t, dir)
+	s, d, store := newWALTestServer(t, dir, nil)
 	poi := indexedPOI(t, s, d)
 	ts := d.Spec.End + 100
 
-	code, body := post(t, s, "/ingest", fmt.Sprintf(`{"poi":%d,"ts":%d}`, poi, ts))
+	code, body := post(t, s, "/v1/ingest", fmt.Sprintf(`{"poi":%d,"ts":%d}`, poi, ts))
 	if code != 200 {
 		t.Fatalf("single ingest: %d %s", code, body)
 	}
@@ -155,7 +216,7 @@ func TestServeIngest(t *testing.T) {
 
 	batch := fmt.Sprintf(`{"checkins":[{"poi":%d,"ts":%d},{"poi":%d,"ts":%d},{"poi":%d,"ts":%d}]}`,
 		poi, ts+1, poi, ts+2, poi, ts+3)
-	code, body = post(t, s, "/ingest", batch)
+	code, body = post(t, s, "/v1/ingest", batch)
 	if code != 200 {
 		t.Fatalf("batch ingest: %d %s", code, body)
 	}
@@ -194,7 +255,7 @@ func TestServeIngest(t *testing.T) {
 	}
 
 	// Queries keep working through the store-locked path.
-	if code, body := get(t, s, "/query?x=50&y=50&k=5&days=128"); code != 200 {
+	if code, body := get(t, s, "/v1/query?x=50&y=50&k=5&days=128"); code != 200 {
 		t.Errorf("query after ingest: %d %s", code, body)
 	}
 
@@ -209,7 +270,7 @@ func TestServeIngest(t *testing.T) {
 		{"both forms", fmt.Sprintf(`{"poi":%d,"ts":%d,"checkins":[{"poi":%d,"ts":%d}]}`, poi, ts, poi, ts)},
 		{"half single", `{"poi":1}`},
 	} {
-		code, body := post(t, s, "/ingest", tc.body)
+		code, body := post(t, s, "/v1/ingest", tc.body)
 		if code != 400 {
 			t.Errorf("%s: status %d, want 400 (%s)", tc.name, code, body)
 		}
@@ -219,7 +280,7 @@ func TestServeIngest(t *testing.T) {
 	}
 
 	// Wrong method on /ingest.
-	if code, _ := get(t, s, "/ingest"); code != 405 && code != 404 {
+	if code, _ := get(t, s, "/v1/ingest"); code != 405 && code != 404 {
 		t.Errorf("GET /ingest: status %d, want 405/404", code)
 	}
 
@@ -228,7 +289,7 @@ func TestServeIngest(t *testing.T) {
 	if err := store.Close(); err != nil {
 		t.Fatal(err)
 	}
-	s2, _, store2 := newWALTestServer(t, dir)
+	s2, _, store2 := newWALTestServer(t, dir, nil)
 	if got := store2.Recovery().Replay.Records; got != 4 {
 		t.Errorf("restart replayed %d records, want 4", got)
 	}

@@ -1,13 +1,24 @@
 // Command tarserve builds a TAR-tree over a synthetic LBSN data set and
 // serves kNNTA queries over HTTP, with the full observability surface:
 //
-//	GET  /query?x=50&y=50&k=10&alpha=0.3[&days=128][&trace=1]
-//	POST /ingest        durable live check-ins (requires -wal-dir)
+//	GET  /v1/query?x=50&y=50&k=10&alpha=0.3[&days=128][&trace=1][&timeout_ms=500][&nocache=1]
+//	POST /v1/ingest     durable live check-ins (requires -wal-dir)
+//	GET  /v1/traces     recent and slowest query records with I/O breakdowns
 //	GET  /metrics       Prometheus text exposition of the obs registry
 //	GET  /healthz       readiness: 200 "ready" once the index is recovered,
 //	                    503 "recovering" while it is still loading
-//	GET  /debug/traces  recent and slowest query records with I/O breakdowns
 //	GET  /debug/pprof/  standard Go profiling endpoints
+//
+// The legacy unversioned routes (/query, /ingest, /debug/traces) answer 308
+// Permanent Redirect to their /v1 successors. timeout_ms maps to a context
+// deadline: a query that exceeds it stops promptly and answers 504.
+//
+// Queries are served through a shared epoch-versioned cache (-cache-bytes,
+// default 64 MiB, 0 disables) that memoizes TIA aggregates and whole result
+// sets; every ingest apply or epoch flush invalidates it, so cached answers
+// are always identical to uncached ones. Hit/miss/eviction/bytes gauges are
+// exported as tartree_aggcache_* on /metrics, and every query response
+// reports its own cache_hits/cache_misses.
 //
 // With -wal-dir the server ingests live check-ins durably: POST /ingest
 // appends to a group-committed write-ahead log and answers 200 only after
@@ -36,6 +47,7 @@ import (
 	"os"
 	"time"
 
+	"tartree/internal/aggcache"
 	"tartree/internal/core"
 	"tartree/internal/lbsn"
 	"tartree/internal/obs"
@@ -57,6 +69,7 @@ func main() {
 		flEvery = flag.Duration("flush-every", 30*time.Second, "background epoch-flush interval (requires -wal-dir)")
 		replay  = flag.String("replay", "", "seed a fresh WAL with this check-in stream (written by datagen -checkins) through the ingest path; skipped if the WAL already holds data")
 		noSync  = flag.Bool("wal-nosync", false, "skip WAL fsyncs (throughput experiments only: crash durability is lost)")
+		cacheB  = flag.Int64("cache-bytes", 64<<20, "shared aggregate/result cache size in bytes (0 disables)")
 	)
 	flag.Parse()
 
@@ -95,6 +108,7 @@ func main() {
 		ring = obs.NewTraceRing(*nTraces)
 		ring.SetSlowLog(log, *slowQ)
 	}
+	cache := aggcache.New(*cacheB) // nil when disabled
 
 	// The listener comes up before the index: /healthz answers 503
 	// "recovering" (and /metrics works) until finishStartup below.
@@ -108,7 +122,7 @@ func main() {
 
 	buildStart := time.Now()
 	if *walDir == "" {
-		tr, err := d.Build(lbsn.BuildOptions{Grouping: g, Metrics: reg, Traces: ring})
+		tr, err := d.Build(lbsn.BuildOptions{Grouping: g, Metrics: reg, Traces: ring, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
@@ -127,14 +141,15 @@ func main() {
 	}
 	base := func() (*core.Tree, error) {
 		if *replay != "" {
-			return d.BuildEmpty(lbsn.BuildOptions{Grouping: g, Metrics: reg, Traces: ring})
+			return d.BuildEmpty(lbsn.BuildOptions{Grouping: g, Metrics: reg, Traces: ring, Cache: cache})
 		}
-		return d.Build(lbsn.BuildOptions{Grouping: g, Metrics: reg, Traces: ring})
+		return d.Build(lbsn.BuildOptions{Grouping: g, Metrics: reg, Traces: ring, Cache: cache})
 	}
 	store, err := wal.OpenStore(fs, base, wal.StoreOptions{
 		Metrics: reg,
 		Traces:  ring,
 		NoSync:  *noSync,
+		Cache:   cache,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -103,11 +104,18 @@ func newPendingServer(reg *obs.Registry, traces *obs.TraceRing, log *slog.Logger
 		return float64(s.tree.Len())
 	})
 
-	s.mux.HandleFunc("GET /query", s.handleQuery)
-	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	// The versioned API surface. Legacy unversioned routes answer 308
+	// Permanent Redirect (which preserves method and body) so existing
+	// clients keep working while the Location header teaches them the new
+	// path; the query string travels with the redirect.
+	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /query", redirectTo("/v1/query"))
+	s.mux.HandleFunc("POST /ingest", redirectTo("/v1/ingest"))
+	s.mux.HandleFunc("GET /debug/traces", redirectTo("/v1/traces"))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	// pprof registers itself on http.DefaultServeMux; mount the handlers
 	// explicitly so the server owns its mux.
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -125,6 +133,19 @@ func (s *server) finishStartup(tree *core.Tree, store *wal.Store, dataStart, dat
 	s.store = store
 	s.dataStart, s.dataEnd = dataStart, dataEnd
 	s.ready.Store(true)
+}
+
+// redirectTo sends a 308 Permanent Redirect to the versioned path,
+// preserving the query string. 308 (unlike 301) forbids the client from
+// changing the method, so redirected POST /ingest bodies arrive intact.
+func redirectTo(target string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		u := target
+		if r.URL.RawQuery != "" {
+			u += "?" + r.URL.RawQuery
+		}
+		http.Redirect(w, r, u, http.StatusPermanentRedirect)
+	}
 }
 
 // statusWriter remembers the status code for the access log.
@@ -174,6 +195,13 @@ type queryResponse struct {
 		TIAPhysical      int64 `json:"tia_physical"`
 		Scored           int   `json:"scored"`
 		NodeAccesses     int64 `json:"node_accesses"`
+		// Cache probe outcomes for this query (zero without -cache-bytes);
+		// with the I/O rows they keep per-query accounting auditable: the
+		// TIA counters above reconcile with backend traffic, the cache
+		// counters with the reads the cache absorbed.
+		CacheHits      int64 `json:"cache_hits"`
+		CacheMisses    int64 `json:"cache_misses"`
+		ResultCacheHit bool  `json:"result_cache_hit"`
 	} `json:"stats"`
 	// IO is the attributed page-traffic breakdown of this query: one row
 	// per (component, level) pair that saw traffic.
@@ -192,20 +220,30 @@ type queryResult struct {
 	Agg   int64   `json:"agg"`
 }
 
-// handleQuery answers GET /query?x=..&y=..[&k=][&alpha=][&start=&end=|&days=][&trace=1].
+// handleQuery answers
+// GET /v1/query?x=..&y=..[&k=][&alpha=][&start=&end=|&days=][&trace=1][&timeout_ms=][&nocache=1].
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !s.ready.Load() {
 		httpError(w, http.StatusServiceUnavailable, errRecovering)
 		return
 	}
-	q, traced, err := s.parseQuery(r)
+	q, po, err := s.parseQuery(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	var tr *obs.Trace
-	if traced {
-		tr = obs.NewTrace()
+	var opts core.QueryOpts
+	if po.traced {
+		opts.Trace = obs.NewTrace()
+	}
+	opts.NoCache = po.nocache
+	// The request context already ends the query when the client goes
+	// away; timeout_ms adds a server-side deadline on top.
+	ctx := r.Context()
+	if po.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, po.timeout)
+		defer cancel()
 	}
 	begin := time.Now()
 	s.queued.Add(1)
@@ -219,16 +257,24 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		// Live ingestion is on: queries must hold the store's read lock so
 		// they never observe a half-applied batch.
-		results, stats, err = s.store.QueryTraced(q, tr)
+		results, stats, err = s.store.QueryCtx(ctx, q, &opts)
 	} else {
-		results, stats, err = s.tree.QueryTraced(q, tr)
+		results, stats, err = s.tree.QueryCtx(ctx, q, &opts)
 	}
 	s.inflight.Add(-1)
 	<-s.admission
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err)
+		switch {
+		case errors.Is(err, core.ErrCanceled):
+			httpError(w, http.StatusGatewayTimeout, err)
+		case errors.Is(err, core.ErrInvalid):
+			httpError(w, http.StatusBadRequest, err)
+		default:
+			httpError(w, http.StatusUnprocessableEntity, err)
+		}
 		return
 	}
+	tr := opts.Trace
 	var resp queryResponse
 	resp.Query.X, resp.Query.Y = q.X, q.Y
 	resp.Query.K = q.K
@@ -247,6 +293,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp.Stats.TIAPhysical = stats.TIAPhysical
 	resp.Stats.Scored = stats.Scored
 	resp.Stats.NodeAccesses = stats.NodeAccesses()
+	resp.Stats.CacheHits = stats.CacheHits
+	resp.Stats.CacheMisses = stats.CacheMisses
+	resp.Stats.ResultCacheHit = stats.ResultCacheHit
 	resp.IO = core.IOLines(&stats.IO)
 	resp.ElapsedMicros = time.Since(begin).Microseconds()
 	if tr != nil {
@@ -258,11 +307,19 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// parseOpts carries the per-request options parsed alongside the query.
+type parseOpts struct {
+	traced  bool
+	nocache bool
+	timeout time.Duration
+}
+
 // parseQuery builds the core.Query from URL parameters. x and y are
 // required; the interval defaults to the whole indexed span, or its last
 // `days` days.
-func (s *server) parseQuery(r *http.Request) (core.Query, bool, error) {
+func (s *server) parseQuery(r *http.Request) (core.Query, parseOpts, error) {
 	v := r.URL.Query()
+	var po parseOpts
 	q := core.Query{
 		K:      10,
 		Alpha0: 0.3,
@@ -270,25 +327,25 @@ func (s *server) parseQuery(r *http.Request) (core.Query, bool, error) {
 	}
 	var err error
 	if q.X, err = floatParam(v.Get("x")); err != nil {
-		return q, false, fmt.Errorf("parameter x: %w", err)
+		return q, po, fmt.Errorf("parameter x: %w", err)
 	}
 	if q.Y, err = floatParam(v.Get("y")); err != nil {
-		return q, false, fmt.Errorf("parameter y: %w", err)
+		return q, po, fmt.Errorf("parameter y: %w", err)
 	}
 	if raw := v.Get("k"); raw != "" {
 		if q.K, err = strconv.Atoi(raw); err != nil {
-			return q, false, fmt.Errorf("parameter k: %w", err)
+			return q, po, fmt.Errorf("parameter k: %w", err)
 		}
 	}
 	if raw := v.Get("alpha"); raw != "" {
 		if q.Alpha0, err = strconv.ParseFloat(raw, 64); err != nil {
-			return q, false, fmt.Errorf("parameter alpha: %w", err)
+			return q, po, fmt.Errorf("parameter alpha: %w", err)
 		}
 	}
 	if raw := v.Get("days"); raw != "" {
 		days, err := strconv.ParseInt(raw, 10, 64)
 		if err != nil {
-			return q, false, fmt.Errorf("parameter days: %w", err)
+			return q, po, fmt.Errorf("parameter days: %w", err)
 		}
 		q.Iq.Start = q.Iq.End - days*lbsn.Day
 		if q.Iq.Start < s.dataStart {
@@ -297,16 +354,24 @@ func (s *server) parseQuery(r *http.Request) (core.Query, bool, error) {
 	}
 	if raw := v.Get("start"); raw != "" {
 		if q.Iq.Start, err = strconv.ParseInt(raw, 10, 64); err != nil {
-			return q, false, fmt.Errorf("parameter start: %w", err)
+			return q, po, fmt.Errorf("parameter start: %w", err)
 		}
 	}
 	if raw := v.Get("end"); raw != "" {
 		if q.Iq.End, err = strconv.ParseInt(raw, 10, 64); err != nil {
-			return q, false, fmt.Errorf("parameter end: %w", err)
+			return q, po, fmt.Errorf("parameter end: %w", err)
 		}
 	}
-	traced := v.Get("trace") == "1" || v.Get("trace") == "true"
-	return q, traced, nil
+	if raw := v.Get("timeout_ms"); raw != "" {
+		ms, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || ms <= 0 {
+			return q, po, fmt.Errorf("parameter timeout_ms: must be a positive integer")
+		}
+		po.timeout = time.Duration(ms) * time.Millisecond
+	}
+	po.traced = v.Get("trace") == "1" || v.Get("trace") == "true"
+	po.nocache = v.Get("nocache") == "1" || v.Get("nocache") == "true"
+	return q, po, nil
 }
 
 var (

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"tartree/internal/aggcache"
 	"tartree/internal/lbsn"
 	"tartree/internal/obs"
 )
@@ -48,7 +50,7 @@ func get(t *testing.T, s *server, url string) (int, string) {
 func TestServeQueryThenMetrics(t *testing.T) {
 	s, _ := newTestServer(t)
 
-	code, body := get(t, s, "/query?x=50&y=50&k=5&alpha=0.3&days=128")
+	code, body := get(t, s, "/v1/query?x=50&y=50&k=5&alpha=0.3&days=128")
 	if code != 200 {
 		t.Fatalf("query status %d: %s", code, body)
 	}
@@ -125,7 +127,7 @@ func TestServeQueryThenMetrics(t *testing.T) {
 
 func TestServeQueryTrace(t *testing.T) {
 	s, _ := newTestServer(t)
-	code, body := get(t, s, "/query?x=30&y=70&k=3&trace=1")
+	code, body := get(t, s, "/v1/query?x=30&y=70&k=3&trace=1")
 	if code != 200 {
 		t.Fatalf("status %d: %s", code, body)
 	}
@@ -139,7 +141,7 @@ func TestServeQueryTrace(t *testing.T) {
 		}
 	}
 	// Untraced queries must not carry a trace.
-	_, body = get(t, s, "/query?x=30&y=70&k=3")
+	_, body = get(t, s, "/v1/query?x=30&y=70&k=3")
 	if strings.Contains(body, `"trace"`) {
 		t.Error("untraced query response contains a trace")
 	}
@@ -151,15 +153,15 @@ func TestServeQueryTrace(t *testing.T) {
 func TestServeDebugTraces(t *testing.T) {
 	s, _ := newTestServer(t)
 	for i := 0; i < 3; i++ {
-		if code, body := get(t, s, "/query?x=50&y=50&k=5&days=128"); code != 200 {
+		if code, body := get(t, s, "/v1/query?x=50&y=50&k=5&days=128"); code != 200 {
 			t.Fatalf("query status %d: %s", code, body)
 		}
 	}
-	if code, body := get(t, s, "/query?x=20&y=80&k=3&trace=1"); code != 200 {
+	if code, body := get(t, s, "/v1/query?x=20&y=80&k=3&trace=1"); code != 200 {
 		t.Fatalf("traced query status %d: %s", code, body)
 	}
 
-	code, body := get(t, s, "/debug/traces")
+	code, body := get(t, s, "/v1/traces")
 	if code != 200 {
 		t.Fatalf("debug/traces status %d: %s", code, body)
 	}
@@ -218,7 +220,7 @@ func TestServeConcurrentQueries(t *testing.T) {
 			for i := 0; i < perWorker; i++ {
 				x := 10 + (w*13+i*7)%80
 				y := 10 + (w*29+i*11)%80
-				code, body := get(t, s, "/query?x="+strconv.Itoa(x)+"&y="+strconv.Itoa(y)+"&k=5&days=128")
+				code, body := get(t, s, "/v1/query?x="+strconv.Itoa(x)+"&y="+strconv.Itoa(y)+"&k=5&days=128")
 				if code != 200 {
 					errs <- fmt.Errorf("worker %d: status %d: %s", w, code, body)
 					return
@@ -266,9 +268,9 @@ func TestServeConcurrentQueries(t *testing.T) {
 func TestServeBadRequests(t *testing.T) {
 	s, _ := newTestServer(t)
 	for _, url := range []string{
-		"/query",               // missing x, y
-		"/query?x=abc&y=1",     // non-numeric
-		"/query?x=50&y=50&k=0", // invalid k
+		"/v1/query",               // missing x, y
+		"/v1/query?x=abc&y=1",     // non-numeric
+		"/v1/query?x=50&y=50&k=0", // invalid k
 	} {
 		code, body := get(t, s, url)
 		if code != 400 && code != 422 {
@@ -280,6 +282,115 @@ func TestServeBadRequests(t *testing.T) {
 	}
 	if code, _ := get(t, s, "/nosuch"); code != 404 {
 		t.Errorf("unknown path: status %d, want 404", code)
+	}
+}
+
+// TestServeLegacyRedirects pins the deprecation path: the unversioned
+// routes answer 308 Permanent Redirect to their /v1 successors, preserving
+// the query string (and, because 308 forbids a method change, POST bodies).
+func TestServeLegacyRedirects(t *testing.T) {
+	s, _ := newTestServer(t)
+	for _, tc := range []struct {
+		method, path, want string
+	}{
+		{"GET", "/query?x=50&y=50&k=5", "/v1/query?x=50&y=50&k=5"},
+		{"POST", "/ingest", "/v1/ingest"},
+		{"GET", "/debug/traces", "/v1/traces"},
+	} {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(tc.method, tc.path, strings.NewReader("{}")))
+		if rec.Code != 308 {
+			t.Errorf("%s %s: status %d, want 308", tc.method, tc.path, rec.Code)
+		}
+		if loc := rec.Header().Get("Location"); loc != tc.want {
+			t.Errorf("%s %s: Location %q, want %q", tc.method, tc.path, loc, tc.want)
+		}
+	}
+}
+
+// TestServeQueryCanceled checks the timeout surface: a query whose context
+// is already dead answers 504 Gateway Timeout, not a success or a 5xx
+// masquerading as a server fault.
+func TestServeQueryCanceled(t *testing.T) {
+	s, _ := newTestServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("GET", "/v1/query?x=50&y=50&k=5&timeout_ms=1000", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 504 {
+		t.Fatalf("status %d, want 504: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), `"error"`) {
+		t.Errorf("504 body has no error field: %s", rec.Body.String())
+	}
+	// A bogus timeout_ms is a client error, not a timeout.
+	if code, _ := get(t, s, "/v1/query?x=50&y=50&timeout_ms=-5"); code != 400 {
+		t.Errorf("negative timeout_ms: status %d, want 400", code)
+	}
+}
+
+// TestServeQueryCacheStats runs a server with the shared cache attached and
+// checks the full loop: the second identical query is a whole-result cache
+// hit with zero traversal, the response reports it, nocache=1 bypasses the
+// cache, and the aggcache gauges appear on /metrics.
+func TestServeQueryCacheStats(t *testing.T) {
+	spec, err := lbsn.SpecByName("GS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := lbsn.Generate(spec.Scaled(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cache := aggcache.New(1 << 20)
+	tr, err := d.Build(lbsn.BuildOptions{Metrics: reg, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	s := newServer(tr, reg, nil, log, d.Spec.Start, d.Spec.End, 4)
+
+	const url = "/v1/query?x=50&y=50&k=5&days=128"
+	var cold, warm, bypass queryResponse
+	for _, step := range []struct {
+		url  string
+		resp *queryResponse
+	}{{url, &cold}, {url, &warm}, {url + "&nocache=1", &bypass}} {
+		code, body := get(t, s, step.url)
+		if code != 200 {
+			t.Fatalf("GET %s: status %d: %s", step.url, code, body)
+		}
+		if err := json.Unmarshal([]byte(body), step.resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cold.Stats.ResultCacheHit || cold.Stats.CacheMisses == 0 {
+		t.Errorf("cold query stats: %+v", cold.Stats)
+	}
+	if !warm.Stats.ResultCacheHit || warm.Stats.CacheHits == 0 {
+		t.Errorf("warm query not served from the cache: %+v", warm.Stats)
+	}
+	if warm.Stats.NodeAccesses != 0 || warm.Stats.TIAAccesses != 0 {
+		t.Errorf("result-cache hit still traversed: %+v", warm.Stats)
+	}
+	if len(warm.Results) != len(cold.Results) || warm.Results[0] != cold.Results[0] {
+		t.Error("cached results differ from cold results")
+	}
+	if bypass.Stats.ResultCacheHit || bypass.Stats.CacheHits != 0 || bypass.Stats.CacheMisses != 0 {
+		t.Errorf("nocache=1 still touched the cache: %+v", bypass.Stats)
+	}
+	if len(bypass.Results) != len(cold.Results) || bypass.Results[0] != cold.Results[0] {
+		t.Error("nocache results differ from cached results")
+	}
+
+	_, metrics := get(t, s, "/metrics")
+	if n := metricValue(t, metrics, "tartree_aggcache_hits_total"); n < 1 {
+		t.Errorf("aggcache hits metric = %g, want >= 1", n)
+	}
+	if n := metricValue(t, metrics, "tartree_aggcache_entries"); n < 1 {
+		t.Errorf("aggcache entries gauge = %g, want >= 1", n)
 	}
 }
 

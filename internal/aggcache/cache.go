@@ -1,0 +1,238 @@
+// Package aggcache is a sharded, epoch-versioned, byte-sized LRU cache for
+// query-derived values of a TAR-tree: memoized TIA aggregates — (TIA id,
+// interval, agg-func) → aggregate — and whole ranked result sets — (query
+// signature, k, α0) → results. The TIA is read-mostly by construction
+// (Section 4.1: aggregates change only when an epoch flush folds buffered
+// check-ins into the index), so between mutations every cached value is
+// provably identical to a recomputation.
+//
+// Correctness rests on a single monotonic version stamp. Every entry is
+// stamped with the cache version current when it was stored; Invalidate
+// bumps the version, instantly orphaning every older entry (they miss on
+// lookup and are reclaimed lazily by the LRU). The tree bumps the version on
+// every mutation that can change a query answer — epoch flushes, live ingest
+// applies (WAL replay included), POI insertion/deletion, rebuilds — so a hit
+// can never serve pre-mutation state.
+//
+// Concurrency: Get/Put/Invalidate are safe from any number of goroutines.
+// The intended discipline (which wal.Store enforces with its RWMutex) is
+// that queries — the only writers of cache entries — run under a read lock
+// while mutations and their Invalidate run under the write lock; a Put can
+// therefore never straddle an invalidation, and its stamp is always the
+// version the value was computed at.
+//
+// The cache is value-agnostic: keys are any comparable values (the caller
+// supplies a 64-bit hash for shard routing), values are opaque with a
+// caller-estimated byte size. A nil *Cache is a valid no-op cache, so call
+// sites need no guards.
+package aggcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// numShards splits the key space to keep lock contention negligible under
+// concurrent queries. Must be a power of two.
+const numShards = 16
+
+// entryOverheadBytes is charged per entry on top of the caller-supplied
+// value size: the map cell, list element and entry struct.
+const entryOverheadBytes = 96
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits and Misses count Get outcomes. A lookup that finds an entry of
+	// an older version counts as a miss (and as an Invalidated reclaim).
+	Hits, Misses int64
+	// Evictions counts entries dropped to fit the byte budget; Invalidated
+	// counts stale entries reclaimed lazily on lookup or overwrite.
+	Evictions, Invalidated int64
+	// Bytes and Entries describe the current contents (stale entries not
+	// yet reclaimed included).
+	Bytes, Entries int64
+	// Version is the current invalidation stamp.
+	Version uint64
+}
+
+// Cache is the sharded versioned LRU. Create one with New; the zero value
+// and the nil pointer are both inert.
+type Cache struct {
+	version atomic.Uint64
+	hits    atomic.Int64
+	misses  atomic.Int64
+	evicted atomic.Int64
+	stale   atomic.Int64
+	bytes   atomic.Int64
+	entries atomic.Int64
+	shards  [numShards]shard
+}
+
+type shard struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	items    map[any]*list.Element
+	lru      list.List // front = most recent
+}
+
+type entry struct {
+	key   any
+	val   any
+	bytes int64
+	ver   uint64
+}
+
+// New creates a cache bounded to roughly maxBytes across all shards.
+// maxBytes <= 0 returns nil — the no-op cache — so a "-cache-bytes 0" flag
+// disables caching with no further branching at call sites.
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	c := &Cache{}
+	per := maxBytes / numShards
+	if per < entryOverheadBytes {
+		per = entryOverheadBytes
+	}
+	for i := range c.shards {
+		c.shards[i].maxBytes = per
+		c.shards[i].items = make(map[any]*list.Element)
+	}
+	return c
+}
+
+// Version returns the current invalidation stamp.
+func (c *Cache) Version() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.version.Load()
+}
+
+// Invalidate bumps the version stamp, orphaning every stored entry. O(1):
+// stale entries are reclaimed lazily by lookups, overwrites and LRU
+// pressure.
+func (c *Cache) Invalidate() {
+	if c == nil {
+		return
+	}
+	c.version.Add(1)
+}
+
+// Get returns the cached value for key, or (nil, false). h routes the key to
+// a shard; the same key must always be presented with the same hash. Entries
+// stored before the last Invalidate miss and are reclaimed.
+func (c *Cache) Get(h uint64, key any) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	ver := c.version.Load()
+	s := &c.shards[h&(numShards-1)]
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if e.ver != ver {
+		s.remove(el, e)
+		s.mu.Unlock()
+		c.stale.Add(1)
+		c.bytes.Add(-e.bytes)
+		c.entries.Add(-1)
+		c.misses.Add(1)
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return e.val, true
+}
+
+// Put stores val under key, charging valBytes plus a fixed per-entry
+// overhead against the byte budget and evicting least-recently-used entries
+// to fit. Values larger than a shard's whole budget are not cached.
+func (c *Cache) Put(h uint64, key any, val any, valBytes int64) {
+	if c == nil {
+		return
+	}
+	size := valBytes + entryOverheadBytes
+	ver := c.version.Load()
+	s := &c.shards[h&(numShards-1)]
+	if size > s.maxBytes {
+		return
+	}
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		e := el.Value.(*entry)
+		if e.ver != ver {
+			c.stale.Add(1)
+		}
+		c.bytes.Add(size - e.bytes)
+		s.bytes += size - e.bytes
+		e.val, e.bytes, e.ver = val, size, ver
+		s.lru.MoveToFront(el)
+	} else {
+		el := s.lru.PushFront(&entry{key: key, val: val, bytes: size, ver: ver})
+		s.items[key] = el
+		s.bytes += size
+		c.bytes.Add(size)
+		c.entries.Add(1)
+	}
+	var evicted int64
+	for s.bytes > s.maxBytes {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		s.remove(back, e)
+		c.bytes.Add(-e.bytes)
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evicted.Add(evicted)
+		c.entries.Add(-evicted)
+	}
+}
+
+// remove unlinks an entry from the shard. Caller holds s.mu and settles the
+// cache-level byte/entry counters.
+func (s *shard) remove(el *list.Element, e *entry) {
+	s.lru.Remove(el)
+	delete(s.items, e.key)
+	s.bytes -= e.bytes
+}
+
+// Snapshot returns the current counters.
+func (c *Cache) Snapshot() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Evictions:   c.evicted.Load(),
+		Invalidated: c.stale.Load(),
+		Bytes:       c.bytes.Load(),
+		Entries:     c.entries.Load(),
+		Version:     c.version.Load(),
+	}
+}
+
+// Mix folds v into hash h (FNV-1a style). Callers build shard-routing hashes
+// by chaining Mix over the fields of their key structs, starting from Seed.
+func Mix(h, v uint64) uint64 {
+	h ^= v
+	h *= 1099511628211
+	return h
+}
+
+// Seed is the FNV-1a offset basis, the conventional starting hash for Mix
+// chains.
+const Seed = 14695981039346656037

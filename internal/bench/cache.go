@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"tartree/internal/aggcache"
+	"tartree/internal/core"
+	"tartree/internal/lbsn"
+	"tartree/internal/tia"
+)
+
+// Cache experiment defaults: a repeated-interval workload — many query
+// points sharing a handful of distinct intervals — is where the shared
+// cache pays off twice, first through aggregate reuse across queries on the
+// same interval, then through whole-result hits when a query repeats.
+const (
+	cacheIntervals = 4
+	cacheBytes     = 32 << 20 // large enough that the workload never evicts
+)
+
+// cacheBackends lists the TIA storage engines the cache fronts, in cost
+// order: the in-memory mirror, the disk B+-tree (the default), and the
+// multiversion B-tree.
+var cacheBackends = []struct {
+	name string
+	fac  func() tia.Factory
+}{
+	{"mem", func() tia.Factory { return tia.NewMemFactory() }},
+	{"btree", func() tia.Factory { return tia.NewBTreeFactory(defaultNodeSize, 10) }},
+	{"mvbt", func() tia.Factory { return tia.NewMVBTFactory(defaultNodeSize, 10) }},
+}
+
+// CacheExp measures the epoch-versioned cache on a repeated-interval
+// workload, per TIA backend: a cold pass with the cache bypassed (the
+// uncached baseline), a first cached pass (aggregate reuse across queries
+// that share an interval), and a warm pass over the identical batch
+// (whole-result hits, zero traversal). Two correctness gates ride along:
+// every cached answer must equal its uncached twin, and after a live ingest
+// the invalidated cache must again agree with the tree.
+//
+// The exported counters depend only on the workload shape — never on
+// timing — so benchdiff can gate on them:
+//
+//	bench_cache_queries_total{backend="..."}
+//	bench_cache_cold_tia_reads_total{backend="..."}
+//	bench_cache_first_agg_hits_total{backend="..."}
+//	bench_cache_warm_result_hits_total{backend="..."}
+//	bench_cache_warm_tia_reads_total{backend="..."}
+func CacheExp(cfg Config) ([]Table, error) {
+	name := cfg.datasets()[0]
+	if len(cfg.Datasets) == 0 {
+		name = "GS"
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = smokeScale
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = smokeQueries
+	}
+	env, err := newEnv(cfg, name)
+	if err != nil {
+		return nil, err
+	}
+	ivs := env.data.QueryIntervals(cacheIntervals, cfg.Seed+17)
+	queries := env.data.QueriesWithIntervals(cfg.queries(), defaultK, defaultAlpha, cfg.Seed+17, ivs)
+
+	t := Table{
+		Title: fmt.Sprintf("Cache: repeated-interval workload (%s, scale %.2f, %d queries over %d intervals)",
+			name, cfg.Scale, len(queries), cacheIntervals),
+		Header: []string{"backend", "pass", "ms/query", "TIA reads", "agg hits", "agg misses", "result hits", "speedup vs cold"},
+	}
+	ctx := context.Background()
+	for _, b := range cacheBackends {
+		cache := aggcache.New(cacheBytes)
+		tr, err := env.data.Build(lbsn.BuildOptions{
+			Grouping: core.TAR3D,
+			NodeSize: defaultNodeSize,
+			TIA:      b.fac(),
+			Cache:    cache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var want [][]core.Result
+		runPass := func(opts *core.QueryOpts, check bool) (passStats, error) {
+			var ps passStats
+			start := time.Now()
+			for i, qu := range queries {
+				res, stats, err := tr.QueryCtx(ctx, qu, opts)
+				if err != nil {
+					return ps, err
+				}
+				ps.tiaReads += stats.TIAAccesses
+				ps.aggHits += stats.CacheHits
+				ps.aggMisses += stats.CacheMisses
+				if stats.ResultCacheHit {
+					ps.resultHits++
+					ps.aggHits-- // a whole-result hit is not an aggregate probe
+				}
+				if check {
+					if err := sameResults(want[i], res); err != nil {
+						return ps, fmt.Errorf("cache %s query %d: %w", b.name, i, err)
+					}
+				} else {
+					want = append(want, res)
+				}
+			}
+			ps.elapsed = time.Since(start)
+			return ps, nil
+		}
+
+		cold, err := runPass(&core.QueryOpts{NoCache: true}, false)
+		if err != nil {
+			return nil, err
+		}
+		first, err := runPass(nil, true)
+		if err != nil {
+			return nil, err
+		}
+		warm, err := runPass(nil, true)
+		if err != nil {
+			return nil, err
+		}
+
+		// Invalidation gate: a live ingest folded into a fresh epoch must
+		// leave cached and uncached answers in agreement again.
+		at := env.data.Spec.End
+		for i := range queries[:4] {
+			res := want[i]
+			if len(res) == 0 {
+				continue
+			}
+			for n := 0; n < 20; n++ {
+				if err := tr.AddCheckIn(res[0].POI.ID, at); err != nil {
+					return nil, fmt.Errorf("cache %s: ingest: %w", b.name, err)
+				}
+			}
+		}
+		if err := tr.FlushEpochs(at + defaultEpoch); err != nil {
+			return nil, err
+		}
+		for i, qu := range queries[:4] {
+			plain, _, err := tr.QueryCtx(ctx, qu, &core.QueryOpts{NoCache: true})
+			if err != nil {
+				return nil, err
+			}
+			cached, stats, err := tr.QueryCtx(ctx, qu, nil)
+			if err != nil {
+				return nil, err
+			}
+			if stats.ResultCacheHit {
+				return nil, fmt.Errorf("cache %s query %d: stale result served after ingest", b.name, i)
+			}
+			if err := sameResults(plain, cached); err != nil {
+				return nil, fmt.Errorf("cache %s query %d after ingest: %w", b.name, i, err)
+			}
+		}
+
+		if cfg.Metrics != nil {
+			l := func(c string) string { return fmt.Sprintf(`%s{backend=%q}`, c, b.name) }
+			cfg.Metrics.Counter(l("bench_cache_queries_total")).Add(int64(len(queries)))
+			cfg.Metrics.Counter(l("bench_cache_cold_tia_reads_total")).Add(cold.tiaReads)
+			cfg.Metrics.Counter(l("bench_cache_first_agg_hits_total")).Add(first.aggHits)
+			cfg.Metrics.Counter(l("bench_cache_warm_result_hits_total")).Add(warm.resultHits)
+			cfg.Metrics.Counter(l("bench_cache_warm_tia_reads_total")).Add(warm.tiaReads)
+		}
+		for _, p := range []struct {
+			name string
+			ps   passStats
+		}{{"cold (nocache)", cold}, {"first (cached)", first}, {"warm (repeat)", warm}} {
+			speedup := "-"
+			if p.ps.elapsed > 0 && p.name != "cold (nocache)" {
+				speedup = fmt.Sprintf("%.1f×", float64(cold.elapsed)/float64(p.ps.elapsed))
+			}
+			t.Rows = append(t.Rows, []string{
+				b.name,
+				p.name,
+				fmt.Sprintf("%.3f", p.ps.elapsed.Seconds()*1000/float64(len(queries))),
+				fmt.Sprintf("%d", p.ps.tiaReads),
+				fmt.Sprintf("%d", p.ps.aggHits),
+				fmt.Sprintf("%d", p.ps.aggMisses),
+				fmt.Sprintf("%d", p.ps.resultHits),
+				speedup,
+			})
+		}
+	}
+	return []Table{t}, nil
+}
+
+// passStats accumulates one pass over the query batch.
+type passStats struct {
+	elapsed    time.Duration
+	tiaReads   int64
+	aggHits    int64
+	aggMisses  int64
+	resultHits int64
+}
+
+// sameResults requires two ranked answers to agree exactly — the
+// equivalence contract of the cache, enforced inside the experiment.
+func sameResults(want, got []core.Result) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("result count %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("rank %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+func init() {
+	Experiments["cache"] = CacheExp
+}

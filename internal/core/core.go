@@ -22,7 +22,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
+	"tartree/internal/aggcache"
 	"tartree/internal/geo"
 	"tartree/internal/obs"
 	"tartree/internal/rstar"
@@ -132,6 +134,14 @@ type Options struct {
 	// Independent of Metrics; cmd/tarserve serves the ring at
 	// /debug/traces.
 	Traces *obs.TraceRing
+	// Cache, when set, memoizes TIA aggregate probes and whole ranked
+	// result sets across queries. The tree bumps the cache's version stamp
+	// on every mutation that can change a query answer (check-in ingest,
+	// epoch flushes, POI insertion/deletion, rebuilds), so cached answers
+	// are always identical to recomputed ones. A cache may be shared by
+	// several trees — keys embed tree and TIA identities — but then every
+	// sharing tree invalidates it. Nil disables caching.
+	Cache *aggcache.Cache
 }
 
 func (o *Options) fill() error {
@@ -185,16 +195,17 @@ type Query struct {
 	Alpha0 float64 // weight of the spatial distance; α1 = 1 − Alpha0
 }
 
-// Validate reports whether the query parameters are usable.
+// Validate reports whether the query parameters are usable. Failures wrap
+// ErrInvalid, so errors.Is(err, ErrInvalid) identifies bad input.
 func (q Query) Validate() error {
 	if q.K <= 0 {
-		return errors.New("core: query k must be positive")
+		return fmt.Errorf("%w: k must be positive", ErrInvalid)
 	}
 	if q.Alpha0 <= 0 || q.Alpha0 >= 1 {
-		return errors.New("core: query α0 must be in (0, 1)")
+		return fmt.Errorf("%w: α0 must be in (0, 1)", ErrInvalid)
 	}
 	if q.Iq.End <= q.Iq.Start {
-		return errors.New("core: query interval must be non-empty")
+		return fmt.Errorf("%w: interval must be non-empty", ErrInvalid)
 	}
 	return nil
 }
@@ -206,10 +217,21 @@ func (q Query) Validate() error {
 type aggData struct {
 	mirror *tia.Mem
 	disk   tia.Index
+	// id is a process-unique identity used as the stable cache key for this
+	// TIA's memoized aggregates. Identity alone is sound only because every
+	// structural or content mutation bumps the cache version stamp.
+	id uint64
 	// owned marks internal-entry data, whose disk index is destroyed when
 	// the entry disappears. Leaf data is shared with the POI registry and
 	// outlives tree restructuring.
 	owned bool
+}
+
+// idSeq issues process-unique identities for aggData instances and trees.
+var idSeq atomic.Uint64
+
+func newAggData(mirror *tia.Mem, disk tia.Index, owned bool) *aggData {
+	return &aggData{mirror: mirror, disk: disk, id: idSeq.Add(1), owned: owned}
 }
 
 // poiState is the per-POI registry record.
@@ -224,6 +246,7 @@ type poiState struct {
 
 // Tree is a TAR-tree.
 type Tree struct {
+	id            uint64 // process-unique, part of result-cache keys
 	opts          Options
 	rt            *rstar.Tree
 	dims          int
@@ -257,6 +280,7 @@ func NewTree(opts Options) (*Tree, error) {
 		return nil, errors.New("core: world rectangle is degenerate")
 	}
 	t := &Tree{
+		id:      idSeq.Add(1),
 		opts:    opts,
 		dims:    opts.Grouping.Dims(),
 		scale:   1 / ext,
@@ -271,13 +295,16 @@ func NewTree(opts Options) (*Tree, error) {
 		if at, ok := opts.TIA.(sinkAttacher); ok {
 			at.AttachSink(obs.NewPageSink(opts.Metrics, "tartree_pagestore"))
 		}
+		if opts.Cache != nil {
+			registerCacheMetrics(opts.Metrics, opts.Cache)
+		}
 	}
 	t.traces = opts.Traces
 	disk, err := opts.TIA.New()
 	if err != nil {
 		return nil, err
 	}
-	t.global = &aggData{mirror: tia.NewMem(), disk: disk, owned: true}
+	t.global = newAggData(tia.NewMem(), disk, true)
 
 	var strat rstar.Strategy
 	if opts.Grouping == IndAgg {
@@ -378,7 +405,7 @@ func (t *Tree) InsertPOI(p POI, history []tia.Record) error {
 	if err != nil {
 		return err
 	}
-	data := &aggData{mirror: tia.NewMem(), disk: disk}
+	data := newAggData(tia.NewMem(), disk, false)
 	var total int64
 	for _, r := range history {
 		if r.Agg == 0 {
@@ -406,11 +433,19 @@ func (t *Tree) InsertPOI(p POI, history []tia.Record) error {
 	st.z = t.zCoord(lambda)
 	t.pois[p.ID] = st
 	st.inTree = true
+	t.invalidateCache()
 	return t.rt.Insert(rstar.Entry{
 		Rect: t.leafRect(st),
 		Item: rstar.Item(p.ID),
 		Data: data,
 	})
+}
+
+// invalidateCache bumps the shared cache's version stamp. Called by every
+// mutation that can change a query answer; over-invalidation is harmless,
+// under-invalidation never happens.
+func (t *Tree) invalidateCache() {
+	t.opts.Cache.Invalidate() // nil-safe
 }
 
 // leafRect builds the (point) bounding rectangle of a POI in index space.
@@ -434,6 +469,7 @@ func (t *Tree) DeletePOI(id int64) (bool, error) {
 	}
 	if removed {
 		delete(t.pois, id)
+		t.invalidateCache()
 		if err := st.data.disk.Destroy(); err != nil {
 			return true, err
 		}
@@ -517,7 +553,7 @@ func (a *treeAug) Make(n *rstar.Node, old any) (any, error) {
 	if d == nil || !d.owned {
 		// Never cannibalize a leaf's data (possible when a subtree shrinks
 		// to a single POI); internal entries always own a fresh aggData.
-		d = &aggData{owned: true}
+		d = newAggData(nil, nil, true)
 	}
 	if err := d.rebuildFrom(n.Entries, a.t.opts.TIA.New); err != nil {
 		return nil, err
@@ -529,11 +565,11 @@ func (a *treeAug) Make(n *rstar.Node, old any) (any, error) {
 func (a *treeAug) Extend(data any, e rstar.Entry) (any, error) {
 	d, _ := data.(*aggData)
 	if d == nil {
-		var err error
-		d = &aggData{mirror: tia.NewMem(), owned: true}
-		if d.disk, err = a.t.opts.TIA.New(); err != nil {
+		disk, err := a.t.opts.TIA.New()
+		if err != nil {
 			return nil, err
 		}
+		d = newAggData(tia.NewMem(), disk, true)
 	}
 	src := e.Data.(*aggData)
 	for _, r := range src.mirror.Records() {
@@ -579,6 +615,7 @@ func currentAgg(m *tia.Mem, ts int64) (int64, bool) {
 // aggregate-dimension coordinate with the current λ̂max. The paper suggests
 // this as the remedy for drift as the LBSN grows (Section 8.2).
 func (t *Tree) Rebuild() error {
+	t.invalidateCache()
 	if err := t.refreshGlobals(); err != nil {
 		return err
 	}
@@ -617,6 +654,7 @@ func (t *Tree) RebuildBulk() error {
 	if t.opts.Grouping == IndAgg {
 		return t.Rebuild()
 	}
+	t.invalidateCache()
 	if err := t.refreshGlobals(); err != nil {
 		return err
 	}
@@ -666,7 +704,7 @@ func (t *Tree) refreshGlobals() error {
 			return err
 		}
 	}
-	t.global = &aggData{mirror: fresh, disk: disk, owned: true}
+	t.global = newAggData(fresh, disk, true)
 	return nil
 }
 

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"tartree/internal/aggcache"
+	"tartree/internal/geo"
+	"tartree/internal/pagestore"
+	"tartree/internal/tia"
+)
+
+// stepCtx is a context whose Err flips to Canceled after limit polls: it
+// lets a test cancel a search at a deterministic point mid-flight, without
+// timing races.
+type stepCtx struct {
+	context.Context
+	polls atomic.Int64
+	limit int64
+}
+
+func (c *stepCtx) Err() error {
+	if c.polls.Add(1) > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+func exhaustiveQuery(tr *Tree) Query {
+	return Query{X: 50, Y: 50, Iq: tia.Interval{Start: 0, End: 600}, K: tr.Len(), Alpha0: 0.5}
+}
+
+func TestQueryCtxCanceledBeforeStart(t *testing.T) {
+	tr := buildAccountingTree(t, TAR3D)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, stats, err := tr.QueryCtx(ctx, exhaustiveQuery(tr), nil)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if len(res) != 0 {
+		t.Errorf("canceled query returned %d results", len(res))
+	}
+	// Only the root read can have happened before the first poll.
+	if stats.RTreeAccesses() > 1 {
+		t.Errorf("pre-canceled query did %d node accesses", stats.RTreeAccesses())
+	}
+}
+
+func TestQueryCtxExpiredDeadline(t *testing.T) {
+	tr := buildAccountingTree(t, TAR3D)
+	ctx, cancel := context.WithTimeout(context.Background(), -1)
+	defer cancel()
+	_, _, err := tr.QueryCtx(ctx, exhaustiveQuery(tr), nil)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatalf("ctx.Err() = %v", ctx.Err())
+	}
+}
+
+// TestQueryCtxMidSearchCancellation cancels an exhaustive search after a
+// fixed number of best-first pops and checks the three promises of the
+// contract: the error wraps ErrCanceled, the stats are valid partial counts
+// (some work done, strictly less than a full run), and nothing leaks — the
+// canceled query's attributed I/O still reconciles with the factory, and
+// the tree keeps answering correctly afterwards.
+func TestQueryCtxMidSearchCancellation(t *testing.T) {
+	tr := buildAccountingTreeOpts(t, Options{
+		World:       geo.Rect{Min: geo.Vector{0, 0}, Max: geo.Vector{100, 100}},
+		NodeSize:    256,
+		Grouping:    TAR3D,
+		EpochStart:  0,
+		EpochLength: 100,
+		TIA:         tia.NewBTreeFactory(256, 10),
+	})
+	q := exhaustiveQuery(tr)
+	full, fullStats, err := tr.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fac := tr.TIAFactory()
+	fac.ResetStats()
+
+	ctx := &stepCtx{Context: context.Background(), limit: 10}
+	res, stats, err := tr.QueryCtx(ctx, q, nil)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if len(res) != 0 {
+		t.Errorf("canceled query returned %d results", len(res))
+	}
+	if got := ctx.polls.Load(); got != ctx.limit+1 {
+		t.Errorf("search did %d more pops after cancellation", got-ctx.limit-1)
+	}
+	if stats.RTreeAccesses() == 0 {
+		t.Error("partial stats recorded no work")
+	}
+	if stats.RTreeAccesses() >= fullStats.RTreeAccesses() {
+		t.Errorf("canceled after %d pops but did %d node accesses (full run: %d)",
+			ctx.limit, stats.RTreeAccesses(), fullStats.RTreeAccesses())
+	}
+
+	// No leaked accounting: the canceled query's breakdown plus a completed
+	// query's breakdown must equal the factory's delta exactly, and the
+	// completed query must reproduce the pre-cancellation answer.
+	after, afterStats, err := tr.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after, full) {
+		t.Error("query after cancellation differs from the one before")
+	}
+	var sum pagestore.IOBreakdown
+	sum.Add(&stats.IO)
+	sum.Add(&afterStats.IO)
+	sum[pagestore.CompRTreeInternal] = [pagestore.MaxIOLevels]pagestore.IOCell{}
+	sum[pagestore.CompRTreeLeaf] = [pagestore.MaxIOLevels]pagestore.IOCell{}
+	if got := fac.Breakdown(); got != sum {
+		t.Errorf("factory delta != canceled + completed breakdowns:\n got %v\nwant %v", got, sum)
+	}
+}
+
+// cacheTestBackends mirrors the conservation test's backend set plus the
+// in-memory TIA, so equivalence is proven for every storage engine.
+func cacheTestBackends() map[string]func() tia.Factory {
+	return map[string]func() tia.Factory{
+		"mem":   func() tia.Factory { return tia.NewMemFactory() },
+		"btree": func() tia.Factory { return tia.NewBTreeFactory(256, 10) },
+		"mvbt":  func() tia.Factory { return tia.NewMVBTFactory(1024, 10) },
+	}
+}
+
+// TestCacheEquivalence is the correctness contract of the tentpole: for
+// every grouping × backend, cached answers are byte-for-byte identical to
+// uncached ones — on a cold cache, on a warm cache (whole-result hit), and
+// again after a live ingest invalidates every cached aggregate.
+func TestCacheEquivalence(t *testing.T) {
+	queries := []Query{
+		{X: 50, Y: 50, Iq: tia.Interval{Start: 0, End: 700}, K: 10, Alpha0: 0.5},
+		{X: 10, Y: 80, Iq: tia.Interval{Start: 100, End: 400}, K: 5, Alpha0: 0.3},
+		{X: 95, Y: 5, Iq: tia.Interval{Start: 200, End: 700}, K: 3, Alpha0: 0.7},
+	}
+	for _, g := range []Grouping{TAR3D, IndSpa, IndAgg} {
+		for name, newFac := range cacheTestBackends() {
+			t.Run(g.String()+"/"+name, func(t *testing.T) {
+				cache := aggcache.New(1 << 20)
+				tr := buildAccountingTreeOpts(t, Options{
+					World:       geo.Rect{Min: geo.Vector{0, 0}, Max: geo.Vector{100, 100}},
+					NodeSize:    256,
+					Grouping:    g,
+					EpochStart:  0,
+					EpochLength: 100,
+					TIA:         newFac(),
+					Cache:       cache,
+				})
+				ctx := context.Background()
+				nocache := &QueryOpts{NoCache: true}
+				for i, q := range queries {
+					want, wantStats, err := tr.QueryCtx(ctx, q, nocache)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cold, coldStats, err := tr.QueryCtx(ctx, q, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(cold, want) {
+						t.Fatalf("query %d: cold cached result differs from uncached", i)
+					}
+					if coldStats.ResultCacheHit {
+						t.Errorf("query %d: cold query reported a result-cache hit", i)
+					}
+					if coldStats.TIAAccesses > wantStats.TIAAccesses {
+						t.Errorf("query %d: cold cached query did %d backend probes, uncached did %d",
+							i, coldStats.TIAAccesses, wantStats.TIAAccesses)
+					}
+					warm, warmStats, err := tr.QueryCtx(ctx, q, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(warm, want) {
+						t.Fatalf("query %d: warm cached result differs from uncached", i)
+					}
+					if !warmStats.ResultCacheHit || warmStats.CacheHits == 0 {
+						t.Errorf("query %d: warm query not served from the result cache: %+v", i, warmStats)
+					}
+					if warmStats.TIAAccesses != 0 || warmStats.RTreeAccesses() != 0 {
+						t.Errorf("query %d: result-cache hit still traversed: %+v", i, warmStats)
+					}
+				}
+
+				// A result-cache hit must hand out a private copy: mutating it
+				// cannot poison later answers.
+				warm, _, err := tr.QueryCtx(ctx, queries[0], nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				clean := append([]Result(nil), warm...)
+				for i := range warm {
+					warm[i].Score = -1
+					warm[i].POI.ID = -1
+				}
+				again, _, err := tr.QueryCtx(ctx, queries[0], nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(again, clean) {
+					t.Error("mutating a cached result leaked into the cache")
+				}
+
+				// Live ingest: new check-ins for the first answer's POIs, folded
+				// into a fresh epoch, must invalidate every cached entry. The
+				// first post-ingest cached query may not be a stale hit, and it
+				// must again equal the uncached answer.
+				version := cache.Version()
+				top, _, err := tr.QueryCtx(ctx, queries[0], &QueryOpts{NoCache: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, r := range top[:2] {
+					for i := 0; i < 50; i++ {
+						if err := tr.AddCheckIn(r.POI.ID, 650); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				if err := tr.FlushEpochs(700); err != nil {
+					t.Fatal(err)
+				}
+				if cache.Version() <= version {
+					t.Fatalf("ingest did not bump the cache version (%d -> %d)", version, cache.Version())
+				}
+				for i, q := range queries {
+					want, _, err := tr.QueryCtx(ctx, q, nocache)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, gotStats, err := tr.QueryCtx(ctx, q, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if gotStats.ResultCacheHit {
+						t.Errorf("query %d: stale result served after ingest invalidation", i)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("query %d: post-ingest cached result differs from uncached", i)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCacheInvalidationOnMutation pins the conservative invalidation rule:
+// every mutation of the tree — buffered check-in, epoch flush, POI insert
+// and delete, rebuilds — bumps the shared cache's version.
+func TestCacheInvalidationOnMutation(t *testing.T) {
+	cache := aggcache.New(1 << 20)
+	opts := defaultOpts(TAR3D)
+	opts.Cache = cache
+	tr := mustTree(t, opts)
+	bumped := func(step string, mutate func() error) {
+		t.Helper()
+		before := cache.Version()
+		if err := mutate(); err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		if cache.Version() <= before {
+			t.Errorf("%s did not bump the cache version", step)
+		}
+	}
+	bumped("InsertPOI", func() error { return tr.InsertPOI(POI{ID: 1, X: 10, Y: 10}, nil) })
+	bumped("AddCheckIn", func() error { return tr.AddCheckIn(1, 5) })
+	bumped("FlushEpochs", func() error { return tr.FlushEpochs(10) })
+	bumped("Rebuild", func() error { return tr.Rebuild() })
+	bumped("DeletePOI", func() error {
+		removed, err := tr.DeletePOI(1)
+		if err == nil && !removed {
+			t.Fatal("DeletePOI found nothing")
+		}
+		return err
+	})
+}
+
+// TestCacheConservation extends the attribution conservation check to a
+// cache-enabled tree: cache probes are attributed to their own component
+// (agg-cache) and reconcile with the flat CacheHits/CacheMisses counters,
+// while the TIA cells still count only real backend reads and still sum to
+// exactly the factory's delta.
+func TestCacheConservation(t *testing.T) {
+	cache := aggcache.New(1 << 20)
+	tr := buildAccountingTreeOpts(t, Options{
+		World:       geo.Rect{Min: geo.Vector{0, 0}, Max: geo.Vector{100, 100}},
+		NodeSize:    256,
+		Grouping:    TAR3D,
+		EpochStart:  0,
+		EpochLength: 100,
+		TIA:         tia.NewBTreeFactory(256, 10),
+		Cache:       cache,
+	})
+	fac := tr.TIAFactory()
+	fac.ResetStats()
+	queries := []Query{
+		{X: 50, Y: 50, Iq: tia.Interval{Start: 0, End: 600}, K: 10, Alpha0: 0.5},
+		{X: 50, Y: 50, Iq: tia.Interval{Start: 0, End: 600}, K: 10, Alpha0: 0.5}, // warm repeat
+		{X: 10, Y: 80, Iq: tia.Interval{Start: 100, End: 400}, K: 5, Alpha0: 0.3},
+	}
+	var sum pagestore.IOBreakdown
+	for i, q := range queries {
+		_, stats, err := tr.QueryCtx(context.Background(), q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tiaReads, cacheReads, cacheHits int64
+		stats.IO.Each(func(c pagestore.Component, level int, cell pagestore.IOCell) {
+			switch c {
+			case pagestore.CompTIABTree, pagestore.CompTIAMVBT:
+				tiaReads += cell.Hits + cell.Misses
+			case pagestore.CompAggCache:
+				cacheReads += cell.Hits + cell.Misses
+				cacheHits += cell.Hits
+			case pagestore.CompUnknown:
+				t.Errorf("query %d: unattributed traffic at level %d: %+v", i, level, cell)
+			}
+		})
+		if tiaReads != stats.TIAAccesses {
+			t.Errorf("query %d: tia cells sum to %d, flat counter says %d", i, tiaReads, stats.TIAAccesses)
+		}
+		if cacheReads != stats.CacheHits+stats.CacheMisses {
+			t.Errorf("query %d: agg-cache cells sum to %d probes, flat counters say %d",
+				i, cacheReads, stats.CacheHits+stats.CacheMisses)
+		}
+		if cacheHits != stats.CacheHits {
+			t.Errorf("query %d: agg-cache cells hold %d hits, flat counter says %d", i, cacheHits, stats.CacheHits)
+		}
+		sum.Add(&stats.IO)
+	}
+	sum[pagestore.CompRTreeInternal] = [pagestore.MaxIOLevels]pagestore.IOCell{}
+	sum[pagestore.CompRTreeLeaf] = [pagestore.MaxIOLevels]pagestore.IOCell{}
+	sum[pagestore.CompAggCache] = [pagestore.MaxIOLevels]pagestore.IOCell{}
+	if got := fac.Breakdown(); got != sum {
+		t.Errorf("factory delta != sum of per-query breakdowns with the cache on:\n got %v\nwant %v", got, sum)
+	}
+	snap := cache.Snapshot()
+	if snap.Hits == 0 || snap.Entries == 0 {
+		t.Errorf("cache saw no traffic: %+v", snap)
+	}
+}

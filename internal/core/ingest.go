@@ -28,6 +28,10 @@ func (t *Tree) AddCheckIn(id int64, at int64) error {
 	}
 	m[id]++
 	t.observe(at)
+	// Buffered check-ins are not yet query-visible, but invalidating here
+	// (one atomic add) keeps the rule simple and audit-proof: every ingest
+	// apply — WAL replay included — bumps the cache version.
+	t.invalidateCache()
 	return nil
 }
 
@@ -80,6 +84,7 @@ func (t *Tree) flushEpoch(iv tia.Interval, counts map[int64]int64) error {
 	if len(counts) == 0 {
 		return nil
 	}
+	t.invalidateCache()
 	max, err := t.applyEpoch(t.rt.Root(), iv, counts)
 	if err != nil {
 		return err

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"tartree/internal/aggcache"
 	"tartree/internal/obs"
 	"tartree/internal/pagestore"
 	"tartree/internal/tia"
@@ -92,6 +93,20 @@ func (in *instruments) record(stats QueryStats, nresults int, d time.Duration, e
 		misses.Add(cell.Misses)
 		evic.Add(cell.Evictions)
 	})
+}
+
+// registerCacheMetrics exports the shared epoch-versioned cache's counters
+// as tartree_aggcache_* series. Re-registration replaces the callbacks, so
+// trees sharing one registry should also share one cache (the usual
+// deployment); otherwise the last tree's cache wins.
+func registerCacheMetrics(r *obs.Registry, c *aggcache.Cache) {
+	r.CounterFunc("tartree_aggcache_hits_total", func() int64 { return c.Snapshot().Hits })
+	r.CounterFunc("tartree_aggcache_misses_total", func() int64 { return c.Snapshot().Misses })
+	r.CounterFunc("tartree_aggcache_evictions_total", func() int64 { return c.Snapshot().Evictions })
+	r.CounterFunc("tartree_aggcache_invalidated_total", func() int64 { return c.Snapshot().Invalidated })
+	r.GaugeFunc("tartree_aggcache_bytes", func() float64 { return float64(c.Snapshot().Bytes) })
+	r.GaugeFunc("tartree_aggcache_entries", func() float64 { return float64(c.Snapshot().Entries) })
+	r.GaugeFunc("tartree_aggcache_version", func() float64 { return float64(c.Snapshot().Version) })
 }
 
 // registerTIAProbes exports the process-wide per-backend probe totals.

@@ -2,9 +2,11 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"time"
 
+	"tartree/internal/aggcache"
 	"tartree/internal/geo"
 	"tartree/internal/obs"
 	"tartree/internal/pagestore"
@@ -35,6 +37,18 @@ type QueryStats struct {
 	// of queries run concurrently. The R-tree cells reconcile with
 	// InternalAccesses/LeafAccesses.
 	IO pagestore.IOBreakdown
+	// CacheHits and CacheMisses count probes of the shared epoch-versioned
+	// cache (Options.Cache): a hit answered a TIA aggregate probe — or the
+	// whole query — from the cache instead of the backend, a miss fell
+	// through. The same probes appear in IO under the agg-cache component
+	// (level 0 = aggregate probes, level 1 = whole-result lookups), so the
+	// conservation audit extends to cached queries: TIA cells still
+	// reconcile exactly with backend traffic, and cache cells account for
+	// the reads the cache absorbed. Both stay zero without a cache.
+	CacheHits, CacheMisses int64
+	// ResultCacheHit reports that the entire ranked result was served from
+	// the cache: no tree traversal, no TIA probes.
+	ResultCacheHit bool
 }
 
 // NodeAccesses returns R-tree plus logical TIA accesses, the total the
@@ -54,6 +68,9 @@ func (s *QueryStats) Merge(o *QueryStats) {
 	s.TIAAccesses += o.TIAAccesses
 	s.TIAPhysical += o.TIAPhysical
 	s.Scored += o.Scored
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.ResultCacheHit = s.ResultCacheHit || o.ResultCacheHit
 	s.IO.Add(&o.IO)
 }
 
@@ -67,6 +84,37 @@ type aggKey struct {
 // processing scheme of Section 7.2 shares one cache among the queries of a
 // batch that have the same query time interval.
 type AggCache map[aggKey]int64
+
+// sharedAggKey identifies a memoized TIA aggregate in the shared
+// epoch-versioned cache. It embeds the matching semantics and aggregate
+// function so trees with different options can share one cache.
+type sharedAggKey struct {
+	tia uint64 // process-unique aggData identity
+	iv  tia.Interval
+	sem tia.Semantics
+	fn  tia.Func
+}
+
+// aggCacheProbeTag and resultCacheTag attribute shared-cache lookups in the
+// per-query I/O breakdown: level 0 is an aggregate probe, level 1 a
+// whole-result lookup.
+var (
+	aggCacheProbeTag = pagestore.NewIOTag(pagestore.CompAggCache, 0)
+	resultCacheTag   = pagestore.NewIOTag(pagestore.CompAggCache, 1)
+)
+
+// aggValueBytes is the budget charge for one cached aggregate: the boxed
+// int64 plus the key struct.
+const aggValueBytes = 48
+
+// sharedAggHash routes k to its cache shard.
+func sharedAggHash(k sharedAggKey) uint64 {
+	h := aggcache.Mix(aggcache.Seed, k.tia)
+	h = aggcache.Mix(h, uint64(k.iv.Start))
+	h = aggcache.Mix(h, uint64(k.iv.End))
+	h = aggcache.Mix(h, uint64(k.sem))
+	return aggcache.Mix(h, uint64(k.fn))
+}
 
 // Scorer computes query-dependent ranking scores of tree entries. A Scorer
 // is bound to one query (point, interval, weights) and one stats sink.
@@ -82,7 +130,43 @@ type Scorer struct {
 	// the caller's QueryStats without touching shared counters.
 	acct  pagestore.IOAcct
 	cache AggCache
-	trace *obs.Trace // nil when tracing is off
+	// shared is the tree's epoch-versioned cross-query cache, consulted
+	// after the query-local memo and before the TIA backend. Nil when the
+	// tree has no cache or the search opted out.
+	shared *aggcache.Cache
+	trace  *obs.Trace // nil when tracing is off
+}
+
+// sharedGet probes the cross-query cache for d's aggregate over the query
+// interval, recording the probe in the stats (hit/miss counters and the
+// agg-cache I/O cell).
+func (sc *Scorer) sharedGet(d *aggData) (int64, bool) {
+	if sc.shared == nil {
+		return 0, false
+	}
+	k := sharedAggKey{tia: d.id, iv: sc.q.Iq, sem: sc.t.opts.Semantics, fn: sc.t.opts.AggFunc}
+	v, ok := sc.shared.Get(sharedAggHash(k), k)
+	if sc.stats != nil {
+		sc.stats.IO.AddRead(aggCacheProbeTag, ok)
+		if ok {
+			sc.stats.CacheHits++
+		} else {
+			sc.stats.CacheMisses++
+		}
+	}
+	if !ok {
+		return 0, false
+	}
+	return v.(int64), true
+}
+
+// sharedPut stores a freshly computed aggregate in the cross-query cache.
+func (sc *Scorer) sharedPut(d *aggData, a int64) {
+	if sc.shared == nil {
+		return
+	}
+	k := sharedAggKey{tia: d.id, iv: sc.q.Iq, sem: sc.t.opts.Semantics, fn: sc.t.opts.AggFunc}
+	sc.shared.Put(sharedAggHash(k), k, a, aggValueBytes)
 }
 
 // acctPtr returns the scorer's accounting context, or nil when the scorer
@@ -97,10 +181,10 @@ func (sc *Scorer) acctPtr() *pagestore.IOAcct {
 // NewScorer prepares a scorer for q, reading the per-query aggregate
 // normalizer from the tree's global per-epoch-maximum TIA.
 func (t *Tree) NewScorer(q Query, stats *QueryStats, cache AggCache) (*Scorer, error) {
-	return t.newScorer(q, stats, cache, nil)
+	return t.newScorer(q, stats, cache, nil, t.opts.Cache)
 }
 
-func (t *Tree) newScorer(q Query, stats *QueryStats, cache AggCache, tr *obs.Trace) (*Scorer, error) {
+func (t *Tree) newScorer(q Query, stats *QueryStats, cache AggCache, tr *obs.Trace, shared *aggcache.Cache) (*Scorer, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -108,12 +192,13 @@ func (t *Tree) newScorer(q Query, stats *QueryStats, cache AggCache, tr *obs.Tra
 		cache = make(AggCache)
 	}
 	sc := &Scorer{
-		t:     t,
-		q:     q,
-		qv:    t.scaled(q.X, q.Y),
-		stats: stats,
-		cache: cache,
-		trace: tr,
+		t:      t,
+		q:      q,
+		qv:     t.scaled(q.X, q.Y),
+		stats:  stats,
+		cache:  cache,
+		shared: shared,
+		trace:  tr,
 	}
 	if stats != nil {
 		sc.acct.IO = &stats.IO
@@ -137,6 +222,10 @@ func (sc *Scorer) maxAggregate() (int64, error) {
 	if v, ok := sc.cache[key]; ok {
 		return v, nil
 	}
+	if v, ok := sc.sharedGet(g); ok {
+		sc.cache[key] = v
+		return v, nil
+	}
 	if sc.trace != nil {
 		defer sc.trace.StartSpan("gmax")()
 	}
@@ -151,6 +240,7 @@ func (sc *Scorer) maxAggregate() (int64, error) {
 		sc.stats.TIAPhysical += delta.PhysicalReads
 	}
 	sc.cache[key] = a
+	sc.sharedPut(g, a)
 	return a, nil
 }
 
@@ -167,6 +257,10 @@ func (sc *Scorer) aggregate(e rstar.Entry) (int64, error) {
 	d := e.Data.(*aggData)
 	key := aggKey{idx: d.disk, iv: sc.q.Iq}
 	if v, ok := sc.cache[key]; ok {
+		return v, nil
+	}
+	if v, ok := sc.sharedGet(d); ok {
+		sc.cache[key] = v
 		return v, nil
 	}
 	var begin time.Time
@@ -188,6 +282,7 @@ func (sc *Scorer) aggregate(e rstar.Entry) (int64, error) {
 		sc.stats.Scored++
 	}
 	sc.cache[key] = a
+	sc.sharedPut(d, a)
 	return a, nil
 }
 
@@ -266,6 +361,7 @@ type Search struct {
 	queue         elemHeap
 	stats         *QueryStats
 	trace         *obs.Trace
+	ctx           context.Context // nil = never canceled
 	CountAccesses bool
 }
 
@@ -285,6 +381,13 @@ type SearchOptions struct {
 	// normalizer read, queue pops, node expansions and TIA probes. A nil
 	// trace costs one pointer test per instrumented site.
 	Trace *obs.Trace
+	// NoCache bypasses the tree's shared epoch-versioned cache
+	// (Options.Cache) for this search: no lookups, no stores.
+	NoCache bool
+	// Ctx, when non-nil, is polled on every best-first pop; once canceled
+	// or past its deadline, Next returns an error wrapping ErrCanceled and
+	// the stats collected so far remain valid partial counts.
+	Ctx context.Context
 }
 
 // NewSearch starts a best-first search for q. Reading the root node counts
@@ -295,20 +398,24 @@ func (t *Tree) NewSearch(q Query, stats *QueryStats, cache AggCache) (*Search, e
 
 // NewSearchWith starts a best-first search with explicit options.
 func (t *Tree) NewSearchWith(q Query, o SearchOptions) (*Search, error) {
+	shared := t.opts.Cache
+	if o.NoCache {
+		shared = nil
+	}
 	var sc *Scorer
 	var err error
 	if o.Gmax != nil {
-		sc, err = t.newScorerWithGmax(q, *o.Gmax, o.Stats, o.Cache)
+		sc, err = t.newScorerWithGmax(q, *o.Gmax, o.Stats, o.Cache, shared)
 		if sc != nil {
 			sc.trace = o.Trace
 		}
 	} else {
-		sc, err = t.newScorer(q, o.Stats, o.Cache, o.Trace)
+		sc, err = t.newScorer(q, o.Stats, o.Cache, o.Trace, shared)
 	}
 	if err != nil {
 		return nil, err
 	}
-	s := &Search{sc: sc, stats: o.Stats, trace: o.Trace, CountAccesses: !o.SkipAccessCounting}
+	s := &Search{sc: sc, stats: o.Stats, trace: o.Trace, ctx: o.Ctx, CountAccesses: !o.SkipAccessCounting}
 	root := t.rt.Root()
 	if o.Stats != nil && !o.SkipAccessCounting {
 		if root.Level == 0 {
@@ -328,14 +435,14 @@ func (t *Tree) NewSearchWith(q Query, o SearchOptions) (*Search, error) {
 }
 
 // newScorerWithGmax builds a scorer using a precomputed normalizer.
-func (t *Tree) newScorerWithGmax(q Query, gmax float64, stats *QueryStats, cache AggCache) (*Scorer, error) {
+func (t *Tree) newScorerWithGmax(q Query, gmax float64, stats *QueryStats, cache AggCache, shared *aggcache.Cache) (*Scorer, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	if cache == nil {
 		cache = make(AggCache)
 	}
-	sc := &Scorer{t: t, q: q, qv: t.scaled(q.X, q.Y), gmax: gmax, stats: stats, cache: cache}
+	sc := &Scorer{t: t, q: q, qv: t.scaled(q.X, q.Y), gmax: gmax, stats: stats, cache: cache, shared: shared}
 	if stats != nil {
 		sc.acct.IO = &stats.IO
 	}
@@ -352,9 +459,10 @@ func (t *Tree) MaxAggregate(iv tia.Interval, stats *QueryStats, cache AggCache) 
 	sc := &Scorer{
 		t: t,
 		// Only Iq matters for aggregation; other fields are placeholders.
-		q:     Query{Iq: iv, K: 1, Alpha0: 0.5},
-		stats: stats,
-		cache: cache,
+		q:      Query{Iq: iv, K: 1, Alpha0: 0.5},
+		stats:  stats,
+		cache:  cache,
+		shared: t.opts.Cache,
 	}
 	if stats != nil {
 		sc.acct.IO = &stats.IO
@@ -431,6 +539,11 @@ func (s *Search) Expand(el *Elem) error {
 // tree is exhausted.
 func (s *Search) Next() (*Result, error) {
 	for {
+		if s.ctx != nil {
+			if err := s.ctx.Err(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCanceled, err)
+			}
+		}
 		el := s.Pop()
 		if el == nil {
 			return nil, nil
@@ -454,8 +567,11 @@ func (s *Search) Result(el *Elem) Result {
 // results in ascending score order together with the work counters. On an
 // instrumented tree (Options.Metrics) the query also feeds the latency
 // histogram and work counters of the registry.
+//
+// Deprecated: Query is QueryCtx(context.Background(), q, nil); new code
+// should call QueryCtx.
 func (t *Tree) Query(q Query) ([]Result, QueryStats, error) {
-	return t.QueryTraced(q, nil)
+	return t.QueryCtx(context.Background(), q, nil)
 }
 
 // QueryTraced is Query with an optional per-query trace: when tr is
@@ -463,30 +579,11 @@ func (t *Tree) Query(q Query) ([]Result, QueryStats, error) {
 // expansions, TIA probes) into it. A nil trace is free. On a tree with a
 // trace ring (Options.Traces) every query — traced or not — is recorded
 // into the ring with its I/O breakdown.
+//
+// Deprecated: QueryTraced is QueryCtx(context.Background(), q,
+// &QueryOpts{Trace: tr}); new code should call QueryCtx.
 func (t *Tree) QueryTraced(q Query, tr *obs.Trace) ([]Result, QueryStats, error) {
-	var begin time.Time
-	if t.instr != nil || t.traces != nil {
-		begin = time.Now()
-	}
-	res, stats, err := t.runQuery(q, tr)
-	if t.instr != nil {
-		t.instr.record(stats, len(res), time.Since(begin), err)
-	}
-	if t.traces != nil {
-		rec := obs.TraceRecord{
-			Query:   describeQuery(q),
-			Start:   begin,
-			Elapsed: time.Since(begin),
-			Results: len(res),
-			Spans:   tr.Spans(),
-			IO:      IOLines(&stats.IO),
-		}
-		if err != nil {
-			rec.Err = err.Error()
-		}
-		t.traces.Record(rec)
-	}
-	return res, stats, err
+	return t.QueryCtx(context.Background(), q, &QueryOpts{Trace: tr})
 }
 
 // describeQuery renders a query compactly for trace records and logs.
@@ -510,36 +607,6 @@ func IOLines(b *pagestore.IOBreakdown) []obs.IOLine {
 		})
 	})
 	return out
-}
-
-func (t *Tree) runQuery(q Query, tr *obs.Trace) ([]Result, QueryStats, error) {
-	var stats QueryStats
-	// I/O attribution is query-local: the scorer's IOAcct points at
-	// stats.IO and rides the IOTag of every TIA page access (including
-	// evictions and write-backs that access forces), so nothing here diffs
-	// shared factory counters and concurrent queries cannot bleed traffic
-	// into each other's stats.
-	res, err := t.searchTopK(q, tr, &stats)
-	return res, stats, err
-}
-
-func (t *Tree) searchTopK(q Query, tr *obs.Trace, stats *QueryStats) ([]Result, error) {
-	s, err := t.NewSearchWith(q, SearchOptions{Stats: stats, Trace: tr})
-	if err != nil {
-		return nil, err
-	}
-	results := make([]Result, 0, q.K)
-	for len(results) < q.K {
-		r, err := s.Next()
-		if err != nil {
-			return nil, err
-		}
-		if r == nil {
-			break
-		}
-		results = append(results, *r)
-	}
-	return results, nil
 }
 
 // ScorePOI computes the exact ranking score of one POI for q (from the

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"tartree/internal/aggcache"
 	"tartree/internal/geo"
 	"tartree/internal/obs"
 	"tartree/internal/tia"
@@ -115,14 +116,15 @@ func sortEpochPOIs(se *snapshotEpoch) {
 // is supplied fresh (disk state is rebuilt, not deserialized); nil selects
 // the default. The index is bulk-rebuilt for spatial groupings.
 func LoadSnapshot(r io.Reader, factory tia.Factory) (*Tree, error) {
-	return LoadSnapshotObserved(r, factory, nil, nil)
+	return LoadSnapshotObserved(r, factory, nil, nil, nil)
 }
 
-// LoadSnapshotObserved is LoadSnapshot with instrumentation: the rebuilt
-// tree publishes metrics and trace records as if it had been created with
-// Options.Metrics/Options.Traces set. The WAL recovery path uses it so a
-// restored server keeps its observability surface.
-func LoadSnapshotObserved(r io.Reader, factory tia.Factory, metrics *obs.Registry, traces *obs.TraceRing) (*Tree, error) {
+// LoadSnapshotObserved is LoadSnapshot with instrumentation and caching:
+// the rebuilt tree publishes metrics and trace records as if it had been
+// created with Options.Metrics/Options.Traces set, and attaches the shared
+// epoch-versioned cache (nil disables). The WAL recovery path uses it so a
+// restored server keeps its observability surface and cache.
+func LoadSnapshotObserved(r io.Reader, factory tia.Factory, metrics *obs.Registry, traces *obs.TraceRing, cache *aggcache.Cache) (*Tree, error) {
 	var s snapshot
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
@@ -139,6 +141,7 @@ func LoadSnapshotObserved(r io.Reader, factory tia.Factory, metrics *obs.Registr
 		TIA:       factory,
 		Metrics:   metrics,
 		Traces:    traces,
+		Cache:     cache,
 	}
 	if s.Geometric {
 		opts.Epochs = GeometricEpochs{Start: s.EpochStart, First: s.EpochLength}

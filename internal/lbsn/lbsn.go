@@ -23,6 +23,7 @@ import (
 	"sort"
 	"time"
 
+	"tartree/internal/aggcache"
 	"tartree/internal/core"
 	"tartree/internal/geo"
 	"tartree/internal/obs"
@@ -318,6 +319,9 @@ type BuildOptions struct {
 	Metrics *obs.Registry
 	// Traces captures finished queries (see core.Options.Traces).
 	Traces *obs.TraceRing
+	// Cache attaches a shared epoch-versioned aggregate/result cache (see
+	// core.Options.Cache). Nil disables caching.
+	Cache *aggcache.Cache
 }
 
 // Build indexes the data set's effective POIs into a TAR-tree.
@@ -335,6 +339,7 @@ func (d *Dataset) Build(o BuildOptions) (*core.Tree, error) {
 		EpochLength: o.EpochLength,
 		Metrics:     o.Metrics,
 		Traces:      o.Traces,
+		Cache:       o.Cache,
 	})
 	if err != nil {
 		return nil, err

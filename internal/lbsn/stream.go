@@ -111,6 +111,7 @@ func (d *Dataset) BuildEmpty(o BuildOptions) (*core.Tree, error) {
 		EpochLength: o.EpochLength,
 		Metrics:     o.Metrics,
 		Traces:      o.Traces,
+		Cache:       o.Cache,
 	})
 	if err != nil {
 		return nil, err

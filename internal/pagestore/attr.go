@@ -29,12 +29,21 @@ const (
 	CompTIABTree
 	// CompTIAMVBT is a page of an MVBT-backed TIA.
 	CompTIAMVBT
+	// CompAggCache is a shared aggregate-cache probe (internal/aggcache),
+	// not a page access: a Hit is a TIA probe or whole query answered from
+	// the cache (so the traffic the backend would have seen is absent from
+	// the TIA cells), a Miss is a probe that fell through to the backend.
+	// Queries record these cells so per-query I/O stays auditable with
+	// caching on — TIA cells still reconcile exactly with backend traffic,
+	// and the aggcache cells explain the reads that never happened. Level 0
+	// holds aggregate probes, level 1 whole-result lookups.
+	CompAggCache
 	// NumComponents bounds the Component enum (array dimension).
 	NumComponents
 )
 
 var componentNames = [NumComponents]string{
-	"unknown", "rtree-internal", "rtree-leaf", "tia-btree", "tia-mvbt",
+	"unknown", "rtree-internal", "rtree-leaf", "tia-btree", "tia-mvbt", "agg-cache",
 }
 
 // String returns the stable label used in metrics and JSON output.

@@ -2,11 +2,13 @@ package wal
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"tartree/internal/aggcache"
 	"tartree/internal/core"
 	"tartree/internal/obs"
 	"tartree/internal/tia"
@@ -45,6 +47,11 @@ type StoreOptions struct {
 	// Factory builds the TIAs of a tree recovered from a checkpoint; nil
 	// selects the core default.
 	Factory tia.Factory
+	// Cache attaches a shared epoch-versioned aggregate/result cache to the
+	// recovered tree (nil disables). The store's locking makes it safe:
+	// queries — the only writers of cache entries — run under the read
+	// lock, mutations and their invalidation under the write lock.
+	Cache *aggcache.Cache
 }
 
 // RecoveryStats reports what OpenStore did to reach a serving state.
@@ -120,7 +127,7 @@ func OpenStore(fs FS, base func() (*core.Tree, error), opts StoreOptions) (*Stor
 		if err != nil {
 			return nil, err
 		}
-		tree, err = core.LoadSnapshotObserved(f, opts.Factory, opts.Metrics, opts.Traces)
+		tree, err = core.LoadSnapshotObserved(f, opts.Factory, opts.Metrics, opts.Traces, opts.Cache)
 		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("wal: loading checkpoint %s: %w", ckName, err)
@@ -274,6 +281,15 @@ func (s *Store) QueryTraced(q core.Query, tr *obs.Trace) ([]core.Result, core.Qu
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.tree.QueryTraced(q, tr)
+}
+
+// QueryCtx answers a TAR query under the read lock with cancellation,
+// deadline and per-query options — the context-aware entry point servers
+// use. See core.(*Tree).QueryCtx.
+func (s *Store) QueryCtx(ctx context.Context, q core.Query, opts *core.QueryOpts) ([]core.Result, core.QueryStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.QueryCtx(ctx, q, opts)
 }
 
 // View runs f with the tree under the read lock; f must not mutate the tree

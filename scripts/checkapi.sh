@@ -1,0 +1,27 @@
+#!/bin/sh
+# checkapi.sh — golden-file gate on the public API surface.
+#
+# The committed file api/tartree.txt is the `go doc -all`-derived surface of
+# the facade package. CI regenerates it and fails on any drift, so every
+# breaking (or expanding) API change shows up in review as a diff of that
+# file rather than slipping in silently.
+#
+#   scripts/checkapi.sh          verify (exit 1 on drift)
+#   scripts/checkapi.sh -update  accept the current surface as golden
+set -e
+cd "$(dirname "$0")/.."
+golden=api/tartree.txt
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+go doc -all . >"$tmp"
+if [ "${1:-}" = "-update" ]; then
+    cp "$tmp" "$golden"
+    echo "checkapi: updated $golden"
+    exit 0
+fi
+if ! diff -u "$golden" "$tmp"; then
+    echo "checkapi: public API surface drifted from $golden." >&2
+    echo "checkapi: if the change is intentional, run scripts/checkapi.sh -update and commit." >&2
+    exit 1
+fi
+echo "checkapi: API surface matches $golden"

@@ -42,6 +42,7 @@ package tartree
 import (
 	"io"
 
+	"tartree/internal/aggcache"
 	"tartree/internal/core"
 	"tartree/internal/geo"
 	"tartree/internal/obs"
@@ -84,8 +85,27 @@ type (
 	// Options.Metrics; serve it with its WriteTo (Prometheus text format).
 	MetricsRegistry = obs.Registry
 	// Trace aggregates timed spans of a single query; pass one built with
-	// NewTrace to (*Tree).QueryTraced.
+	// NewTrace to (*Tree).QueryCtx via QueryOpts.Trace.
 	Trace = obs.Trace
+	// QueryOpts tunes one (*Tree).QueryCtx call: per-query trace, cache
+	// bypass, access-counting control. The zero value (or nil) is the
+	// default behavior.
+	QueryOpts = core.QueryOpts
+	// Cache is the shared epoch-versioned aggregate/result cache attached
+	// via Options.Cache; build one with NewCache.
+	Cache = aggcache.Cache
+	// CacheStats is a point-in-time snapshot of a Cache's counters.
+	CacheStats = aggcache.Stats
+)
+
+// Sentinel errors of the query path, for errors.Is.
+var (
+	// ErrInvalid is wrapped by every query-validation failure.
+	ErrInvalid = core.ErrInvalid
+	// ErrCanceled is wrapped when a query's context is canceled or its
+	// deadline passes; the stats returned alongside are valid partial
+	// counts.
+	ErrCanceled = core.ErrCanceled
 )
 
 // Aggregate functions (Section 3.1).
@@ -112,8 +132,12 @@ func New(opts Options) (*Tree, error) { return core.NewTree(opts) }
 // NewMetrics creates an empty metrics registry for Options.Metrics.
 func NewMetrics() *MetricsRegistry { return obs.NewRegistry() }
 
-// NewTrace creates a per-query trace for (*Tree).QueryTraced.
+// NewTrace creates a per-query trace for QueryOpts.Trace.
 func NewTrace() *Trace { return obs.NewTrace() }
+
+// NewCache creates a shared epoch-versioned cache bounded to roughly
+// maxBytes for Options.Cache. maxBytes <= 0 returns nil, the no-op cache.
+func NewCache(maxBytes int64) *Cache { return aggcache.New(maxBytes) }
 
 // Load reconstructs a tree saved with (*Tree).SaveSnapshot. A nil factory
 // selects the default disk B+-tree TIAs.
