@@ -6,6 +6,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"tartree/internal/obs"
 )
 
 // snapshot is the subset of a BENCH_<exp>.json document benchdiff compares.
@@ -99,6 +101,70 @@ func regressed(base, cur, tol float64) bool {
 		return cur > 1
 	}
 	return cur > base*tol
+}
+
+// evalSLOs gates a single snapshot against parsed objectives. An objective
+// for service S applies to every histogram metric whose base name contains
+// "S_latency_seconds" (so "query:p99<50ms" covers each
+// bench_query_latency_seconds{method=...} series); the snapshot's recorded
+// quantile must sit at or under the threshold. error_rate objectives are
+// skipped — bench snapshots carry no error counts. An objective matching no
+// metric is itself a failure: a gate that silently checks nothing is worse
+// than no gate.
+func evalSLOs(objs []obs.Objective, snap snapshot) []finding {
+	var out []finding
+	names := make([]string, 0, len(snap.Metrics))
+	for name := range snap.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, o := range objs {
+		if o.Kind == "error_rate" {
+			continue
+		}
+		matched := false
+		for _, name := range names {
+			base := name
+			if i := strings.IndexByte(base, '{'); i >= 0 {
+				base = base[:i]
+			}
+			if !strings.Contains(base, o.Service+"_latency_seconds") {
+				continue
+			}
+			var h histogram
+			if json.Unmarshal(snap.Metrics[name], &h) != nil || h.Count == 0 {
+				continue
+			}
+			var q float64
+			switch o.Kind {
+			case "p50":
+				q = h.P50
+			case "p95":
+				q = h.P95
+			case "p99":
+				q = h.P99
+			default:
+				out = append(out, finding{
+					Name: "slo " + o.String(), Baseline: o.Threshold,
+					Missing: true, Regression: true,
+				})
+				continue
+			}
+			matched = true
+			out = append(out, finding{
+				Name: "slo " + o.String() + " @ " + name,
+				Baseline: o.Threshold, Current: q, Tol: 1,
+				Regression: q > o.Threshold,
+			})
+		}
+		if !matched {
+			out = append(out, finding{
+				Name: "slo " + o.String() + " (no matching metric)",
+				Baseline: o.Threshold, Missing: true, Regression: true,
+			})
+		}
+	}
+	return out
 }
 
 // compare walks every baseline metric and probe count. Samples only in the

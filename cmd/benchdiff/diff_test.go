@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"tartree/internal/obs"
 )
 
 func rawMetrics(t *testing.T, m map[string]any) map[string]json.RawMessage {
@@ -241,5 +243,50 @@ func TestReadSnapshotRoundTrip(t *testing.T) {
 	fs := compare(s, s, defaultOpts())
 	if len(fs) == 0 || countRegressions(fs) != 0 {
 		t.Fatalf("self-comparison = %v", fs)
+	}
+}
+
+func TestEvalSLOs(t *testing.T) {
+	snap := testSnapshot(t) // query p99 = 0.012s
+	mustSLOs := func(spec string) []obs.Objective {
+		t.Helper()
+		objs, err := obs.ParseSLOs(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return objs
+	}
+
+	// Attained objective: one finding per matching series, no regressions.
+	fs := evalSLOs(mustSLOs("query:p99<50ms"), snap)
+	if len(fs) != 1 || countRegressions(fs) != 0 {
+		t.Fatalf("attained SLO: %v", fs)
+	}
+
+	// Doctored snapshot: p99 above threshold fails the gate.
+	doctored := testSnapshot(t)
+	doctored.Metrics[`bench_query_latency_seconds{method="TAR-tree"}`] = json.RawMessage(
+		`{"count":20,"sum":2,"p50":0.004,"p95":0.009,"p99":0.099}`)
+	fs = evalSLOs(mustSLOs("query:p99<50ms"), doctored)
+	if countRegressions(fs) != 1 {
+		t.Fatalf("doctored snapshot should violate query:p99<50ms: %v", fs)
+	}
+
+	// p50 objectives read the p50 field.
+	fs = evalSLOs(mustSLOs("query:p50<3ms"), snap)
+	if countRegressions(fs) != 1 {
+		t.Fatalf("p50=0.004 should violate query:p50<3ms: %v", fs)
+	}
+
+	// An objective matching no metric is a failure, not a silent pass.
+	fs = evalSLOs(mustSLOs("ingest:p99<50ms"), snap)
+	if countRegressions(fs) != 1 || !fs[0].Missing {
+		t.Fatalf("unmatched SLO should fail: %v", fs)
+	}
+
+	// error_rate objectives are skipped (snapshots carry no error counts).
+	fs = evalSLOs(mustSLOs("query:error_rate<0.01"), snap)
+	if len(fs) != 0 {
+		t.Fatalf("error_rate should be skipped: %v", fs)
 	}
 }

@@ -10,6 +10,12 @@
 //	tarbench -exp smoke -json out
 //	benchdiff bench/baseline/BENCH_smoke.json out/BENCH_smoke.json
 //
+// With -slo, benchdiff additionally gates the current snapshot's recorded
+// latency quantiles on declarative objectives ("query:p99<50ms"); given a
+// single snapshot argument it runs the SLO gate alone:
+//
+//	benchdiff -slo "query:p99<50ms" bench/baseline/BENCH_smoke.json
+//
 // Exit status: 0 no regression, 1 regression, 2 usage or unreadable input.
 //
 // CI runs it with -skip-latency: the counter metrics of the smoke
@@ -21,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"tartree/internal/obs"
 )
 
 func main() {
@@ -28,38 +36,50 @@ func main() {
 		countTol    = flag.Float64("count-tol", 1.10, "fail when a work counter exceeds baseline×tol")
 		latencyTol  = flag.Float64("latency-tol", 1.30, "fail when a latency quantile exceeds baseline×tol")
 		skipLatency = flag.Bool("skip-latency", false, "ignore latency metrics (use on noisy CI runners)")
+		sloSpec     = flag.String("slo", "", `gate snapshot quantiles on SLO clauses, e.g. "query:p99<50ms"`)
 		quiet       = flag.Bool("q", false, "print only regressions")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] baseline.json current.json\n")
+		fmt.Fprintf(os.Stderr, "       benchdiff -slo <spec> snapshot.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 2 {
+	objectives, err := obs.ParseSLOs(*sloSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	// With -slo, a single snapshot is a pure SLO gate; two snapshots run
+	// both the regression comparison and the gate on the current run.
+	if flag.NArg() != 2 && !(flag.NArg() == 1 && len(objectives) > 0) {
 		flag.Usage()
 		os.Exit(2)
 	}
-	base, err := readSnapshot(flag.Arg(0))
+	var findings []finding
+	cur, err := readSnapshot(flag.Arg(flag.NArg() - 1))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
-	cur, err := readSnapshot(flag.Arg(1))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-		os.Exit(2)
+	if flag.NArg() == 2 {
+		base, err := readSnapshot(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		if base.Experiment != cur.Experiment {
+			fmt.Fprintf(os.Stderr, "benchdiff: comparing different experiments: %q vs %q\n",
+				base.Experiment, cur.Experiment)
+			os.Exit(2)
+		}
+		findings = compare(base, cur, options{
+			CountTol:    *countTol,
+			LatencyTol:  *latencyTol,
+			SkipLatency: *skipLatency,
+		})
 	}
-	if base.Experiment != cur.Experiment {
-		fmt.Fprintf(os.Stderr, "benchdiff: comparing different experiments: %q vs %q\n",
-			base.Experiment, cur.Experiment)
-		os.Exit(2)
-	}
-
-	findings := compare(base, cur, options{
-		CountTol:    *countTol,
-		LatencyTol:  *latencyTol,
-		SkipLatency: *skipLatency,
-	})
+	findings = append(findings, evalSLOs(objectives, cur)...)
 	regressions := 0
 	for _, f := range findings {
 		if f.Regression {

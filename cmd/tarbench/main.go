@@ -38,12 +38,36 @@ func main() {
 		queries  = flag.Int("queries", 0, "queries per measurement; 0 = 200 (paper: 1000)")
 		seed     = flag.Int64("seed", 1, "random seed for query generation")
 		jsonDir  = flag.String("json", "", "also write a BENCH_<exp>.json metrics snapshot into this directory")
+		trcOut   = flag.String("trace-out", "", "append per-batch span traces to this file as Chrome trace_event JSON")
 	)
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Queries: *queries, Seed: *seed}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "tarbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	var traceSink *obs.FileTraceSink
+	if *trcOut != "" {
+		if dir := filepath.Dir(*trcOut); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "tarbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		f, err := os.OpenFile(*trcOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tarbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		traceSink = obs.NewFileTraceSink(f)
+		cfg.TraceSink = traceSink
 	}
 
 	var ids []string
@@ -84,6 +108,13 @@ func main() {
 			}
 			fmt.Printf("[snapshot written to %s]\n", path)
 		}
+	}
+	if traceSink != nil {
+		if err := traceSink.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "tarbench: trace export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[span traces appended to %s]\n", *trcOut)
 	}
 }
 

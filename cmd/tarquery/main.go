@@ -34,6 +34,7 @@ func main() {
 		plan     = flag.Bool("plan", false, "consult the cost-model planner before answering")
 		group    = flag.String("grouping", "tar", "entry grouping: tar, spa, agg")
 		showIO   = flag.Bool("io", false, "print the per-component I/O breakdown of the query")
+		showTr   = flag.Bool("trace", false, "print a duration-annotated span tree of the query")
 		replay   = flag.String("replay", "", "build an empty index and feed this check-in stream (written by datagen -checkins) through the live ingest path instead of bulk-loading histories")
 		cacheB   = flag.Int64("cache-bytes", 64<<20, "shared aggregate/result cache size in bytes (0 disables)")
 	)
@@ -122,12 +123,27 @@ func main() {
 			p.Engine, p.IndexCost, p.ScanCost, p.EstimatedFk)
 	}
 
+	// With -trace the query runs under a root span: the stages (cache
+	// probe, best-first search, cache store) land in the span tree printed
+	// after the results.
+	var opts *tartree.QueryOpts
+	var spans *tartree.TraceBuffer
+	var root *tartree.Span
+	if *showTr {
+		spans = tartree.NewTraceBuffer(1)
+		root = tartree.StartTrace("tarquery", tartree.SpanContext{}, spans)
+		opts = &tartree.QueryOpts{Span: root}
+	}
 	start := time.Now()
-	results, stats, err := tr.QueryCtx(context.Background(), q, nil)
+	results, stats, err := tr.QueryCtx(context.Background(), q, opts)
 	if err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
+	if root != nil {
+		root.SetAttr("results", len(results))
+		root.Finish()
+	}
 
 	fmt.Printf("\nkNNTA query at (%.1f, %.1f), last %d days, k=%d, alpha0=%.2f\n\n",
 		*x, *y, *days, *k, *alpha)
@@ -141,6 +157,13 @@ func main() {
 
 	if *showIO {
 		printIOBreakdown(stats)
+	}
+
+	if spans != nil {
+		fmt.Println()
+		for _, ft := range spans.Traces() {
+			ft.WriteTree(os.Stdout)
+		}
 	}
 
 	if *adj {

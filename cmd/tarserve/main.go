@@ -70,6 +70,8 @@ func main() {
 		replay  = flag.String("replay", "", "seed a fresh WAL with this check-in stream (written by datagen -checkins) through the ingest path; skipped if the WAL already holds data")
 		noSync  = flag.Bool("wal-nosync", false, "skip WAL fsyncs (throughput experiments only: crash durability is lost)")
 		cacheB  = flag.Int64("cache-bytes", 64<<20, "shared aggregate/result cache size in bytes (0 disables)")
+		trcOut  = flag.String("trace-out", "", "append finished span traces to this file as Chrome trace_event JSON")
+		sloSpec = flag.String("slo", "", `latency/error objectives, e.g. "query:p99<50ms,ingest:p99<100ms" (burn rates on /metrics)`)
 	)
 	flag.Parse()
 
@@ -103,6 +105,7 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
 	var ring *obs.TraceRing
 	if *nTraces > 0 {
 		ring = obs.NewTraceRing(*nTraces)
@@ -110,9 +113,24 @@ func main() {
 	}
 	cache := aggcache.New(*cacheB) // nil when disabled
 
+	objectives, err := obs.ParseSLOs(*sloSpec)
+	if err != nil {
+		fatal(err)
+	}
+
 	// The listener comes up before the index: /healthz answers 503
 	// "recovering" (and /metrics works) until finishStartup below.
 	srv := newPendingServer(reg, ring, log, *maxConc)
+	srv.slo = obs.NewSLOTracker(objectives)
+	srv.slo.Register(reg)
+	if *trcOut != "" {
+		f, err := os.OpenFile(*trcOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		srv.spanSink = obs.MultiTraceSink(srv.spans, obs.NewFileTraceSink(f))
+		log.Info("span traces exported", "file", *trcOut)
+	}
 	log.Info("listening", "addr", *addr, "max_concurrent", cap(srv.admission))
 	go func() {
 		if err := http.ListenAndServe(*addr, srv); err != nil {
@@ -146,10 +164,11 @@ func main() {
 		return d.Build(lbsn.BuildOptions{Grouping: g, Metrics: reg, Traces: ring, Cache: cache})
 	}
 	store, err := wal.OpenStore(fs, base, wal.StoreOptions{
-		Metrics: reg,
-		Traces:  ring,
-		NoSync:  *noSync,
-		Cache:   cache,
+		Metrics:   reg,
+		Traces:    ring,
+		NoSync:    *noSync,
+		Cache:     cache,
+		TraceSink: srv.spanSink,
 	})
 	if err != nil {
 		fatal(err)

@@ -10,6 +10,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -54,6 +55,18 @@ type server struct {
 	requests *obs.Counter
 	errors   *obs.Counter
 	mux      *http.ServeMux
+
+	// Span tracing: every /v1/* request gets a span tree rooted at the
+	// route, joined to the client's W3C traceparent when one is sent.
+	// Finished traces land in spans (served by /v1/traces?format=chrome)
+	// and in spanSink, which main may widen with a -trace-out file sink
+	// and which also receives the WAL's batch/flush/checkpoint traces.
+	spans    *obs.TraceBuffer
+	spanSink obs.TraceSink
+
+	// slo classifies finished query/ingest requests against the -slo
+	// objectives; nil (no objectives) records nothing.
+	slo *obs.SLOTracker
 }
 
 // newServer builds a server that is ready immediately: the tree is already
@@ -80,7 +93,9 @@ func newPendingServer(reg *obs.Registry, traces *obs.TraceRing, log *slog.Logger
 		requests:  reg.Counter("tarserve_http_requests_total"),
 		errors:    reg.Counter("tarserve_http_errors_total"),
 		mux:       http.NewServeMux(),
+		spans:     obs.NewTraceBuffer(256),
 	}
+	s.spanSink = s.spans
 	reg.GaugeFunc("tarserve_max_concurrent_queries", func() float64 { return float64(cap(s.admission)) })
 	reg.GaugeFunc("tarserve_inflight_queries", func() float64 { return float64(s.inflight.Load()) })
 	reg.GaugeFunc("tarserve_query_queue_depth", func() float64 { return float64(s.queued.Load()) })
@@ -159,12 +174,46 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// ServeHTTP wraps the mux with the access log and request counters.
+// sloService maps a request path to the SLO service it counts against.
+func sloService(path string) string {
+	switch path {
+	case "/v1/query":
+		return "query"
+	case "/v1/ingest":
+		return "ingest"
+	}
+	return ""
+}
+
+// ServeHTTP wraps the mux with the access log, request counters, span
+// tracing on /v1/* (joining the client's traceparent and emitting the
+// server's own in the response), and SLO classification.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	begin := time.Now()
 	s.requests.Inc()
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	var sp *obs.Span
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		parent, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		sp = obs.StartTrace(r.Method+" "+r.URL.Path, parent, s.spanSink)
+		if sp != nil {
+			// The response header must be set before the handler writes the
+			// status line.
+			w.Header().Set("traceparent", sp.Context().Traceparent())
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
+		}
+	}
 	s.mux.ServeHTTP(sw, r)
+	elapsed := time.Since(begin)
+	if sp != nil {
+		sp.SetAttr("status", sw.status)
+		sp.Finish()
+	}
+	if svc := sloService(r.URL.Path); svc != "" {
+		// Server-side failures burn the error budget; client errors (4xx)
+		// do not — a malformed query is not our latency problem.
+		s.slo.Observe(svc, elapsed, sw.status >= 500)
+	}
 	if sw.status >= 400 {
 		s.errors.Inc()
 	}
@@ -172,7 +221,7 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		"method", r.Method,
 		"path", r.URL.Path,
 		"status", sw.status,
-		"duration", time.Since(begin),
+		"duration", elapsed,
 		"remote", r.RemoteAddr,
 	)
 }
@@ -245,11 +294,16 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, po.timeout)
 		defer cancel()
 	}
+	reqSpan := obs.SpanFromContext(ctx)
 	begin := time.Now()
+	aw := reqSpan.StartChild("admission_wait")
 	s.queued.Add(1)
 	s.admission <- struct{}{} // acquire an execution slot
 	s.queued.Add(-1)
+	aw.End()
 	s.inflight.Add(1)
+	ex := reqSpan.StartChild("execute")
+	opts.Span = ex
 	var (
 		results []core.Result
 		stats   core.QueryStats
@@ -261,6 +315,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	} else {
 		results, stats, err = s.tree.QueryCtx(ctx, q, &opts)
 	}
+	ex.End()
 	s.inflight.Add(-1)
 	<-s.admission
 	if err != nil {
@@ -304,7 +359,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			resp.Trace[sp.Name] = sp.SpanStats
 		}
 	}
+	rs := reqSpan.StartChild("respond")
 	writeJSON(w, http.StatusOK, resp)
+	rs.End()
 }
 
 // parseOpts carries the per-request options parsed alongside the query.
@@ -437,7 +494,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	begin := time.Now()
-	lsn, err := s.store.Ingest(cs)
+	lsn, err := s.store.IngestCtx(r.Context(), cs)
 	if err != nil {
 		if errors.Is(err, wal.ErrInvalid) {
 			httpError(w, http.StatusBadRequest, err)
@@ -485,13 +542,29 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleTraces serves the capture ring: the most recent and the slowest
 // query records, each with spans (if the query ran traced) and the
-// attributed I/O breakdown.
+// attributed I/O breakdown. With ?format=chrome it instead exports the
+// finished span traces (requests, WAL commit batches, flushes,
+// checkpoints) as a Chrome trace_event JSON array, loadable directly in
+// chrome://tracing or Perfetto.
 func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"capacity": s.traces.Cap(),
-		"recent":   s.traces.Recent(),
-		"slowest":  s.traces.Slowest(),
-	})
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, map[string]any{
+			"capacity":       s.traces.Cap(),
+			"recent":         s.traces.Recent(),
+			"slowest":        s.traces.Slowest(),
+			"span_traces":    s.spans.Len(),
+			"spans_finished": s.spans.Finished(),
+		})
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="tarserve-trace.json"`)
+		if err := obs.WriteChromeTrace(w, s.spans.Traces()); err != nil {
+			s.log.Error("chrome trace export failed", "err", err)
+		}
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (use json or chrome)", format))
+	}
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -16,6 +16,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -43,6 +44,12 @@ type Config struct {
 	// (bench_query_latency_seconds{method="..."}) across the whole run,
 	// which cmd/tarbench -json exports next to the tables.
 	Metrics *obs.Registry
+	// TraceSink, when set, receives one finished span trace per measured
+	// query batch: a bench_batch root span (method/queries attrs) with one
+	// child span per query; index methods additionally record their cache
+	// probe and best-first search stages below each query span. cmd/tarbench
+	// -trace-out writes these as Chrome trace_event JSON.
+	TraceSink obs.TraceSink
 }
 
 func (c Config) datasets() []string {
@@ -143,6 +150,13 @@ type queryable interface {
 	Query(q core.Query) ([]core.Result, core.QueryStats, error)
 }
 
+// ctxQueryable is the optional richer query entry point (the TAR-tree and
+// its variants implement it): measure uses it to attach per-query spans so
+// batch traces include the cache-probe/search stages.
+type ctxQueryable interface {
+	QueryCtx(ctx context.Context, q core.Query, opts *core.QueryOpts) ([]core.Result, core.QueryStats, error)
+}
+
 type scanAdapter struct{ s *seqscan.Scanner }
 
 func (a scanAdapter) Query(q core.Query) ([]core.Result, core.QueryStats, error) {
@@ -206,13 +220,32 @@ func (c Config) measure(method string, q queryable, queries []core.Query) (measu
 	if c.Metrics != nil {
 		shared = c.Metrics.Histogram(fmt.Sprintf(`bench_query_latency_seconds{method=%q}`, method), nil)
 	}
+	// A nil TraceSink makes bt nil and every span call below a no-op, so
+	// the untraced path stays allocation-free.
+	bt := obs.StartTrace("bench_batch", obs.SpanContext{}, c.TraceSink)
+	bt.SetAttr("method", method)
+	bt.SetAttr("queries", len(queries))
+	defer bt.Finish()
+	ctxTarget, _ := q.(ctxQueryable)
 	for _, qu := range queries {
+		qs := bt.StartChild("query")
 		start := time.Now()
-		res, stats, err := q.Query(qu)
+		var (
+			res   []core.Result
+			stats core.QueryStats
+			err   error
+		)
+		if qs != nil && ctxTarget != nil {
+			res, stats, err = ctxTarget.QueryCtx(context.Background(), qu, &core.QueryOpts{Span: qs})
+		} else {
+			res, stats, err = q.Query(qu)
+		}
 		if err != nil {
+			qs.End()
 			return m, err
 		}
 		elapsed := time.Since(start)
+		qs.End()
 		local.Observe(elapsed.Seconds())
 		if shared != nil {
 			shared.Observe(elapsed.Seconds())

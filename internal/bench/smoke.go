@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"tartree/internal/core"
 	"tartree/internal/obs"
 )
 
@@ -57,13 +59,30 @@ func Smoke(cfg Config) ([]Table, error) {
 		if cfg.Metrics != nil {
 			shared = cfg.Metrics.Histogram(fmt.Sprintf(`bench_query_latency_seconds{method=%q}`, mn), nil)
 		}
+		bt := obs.StartTrace("bench_batch", obs.SpanContext{}, cfg.TraceSink)
+		bt.SetAttr("method", mn)
+		bt.SetAttr("queries", len(queries))
+		ctxTarget, _ := methods[mn].(ctxQueryable)
 		for _, qu := range queries {
+			qs := bt.StartChild("query")
 			start := time.Now()
-			res, stats, err := methods[mn].Query(qu)
+			var (
+				res   []core.Result
+				stats core.QueryStats
+				err   error
+			)
+			if qs != nil && ctxTarget != nil {
+				res, stats, err = ctxTarget.QueryCtx(context.Background(), qu, &core.QueryOpts{Span: qs})
+			} else {
+				res, stats, err = methods[mn].Query(qu)
+			}
 			if err != nil {
+				qs.End()
+				bt.Finish()
 				return nil, err
 			}
 			elapsed := time.Since(start)
+			qs.End()
 			local.Observe(elapsed.Seconds())
 			if shared != nil {
 				shared.Observe(elapsed.Seconds())
@@ -73,6 +92,7 @@ func Smoke(cfg Config) ([]Table, error) {
 			nodeAccesses += int64(stats.RTreeAccesses())
 			tiaReads += stats.TIAAccesses
 		}
+		bt.Finish()
 		if cfg.Metrics != nil {
 			cfg.Metrics.Counter(fmt.Sprintf(`bench_node_accesses_total{method=%q}`, mn)).Add(nodeAccesses)
 			cfg.Metrics.Counter(fmt.Sprintf(`bench_tia_reads_total{method=%q}`, mn)).Add(tiaReads)

@@ -26,6 +26,11 @@ type QueryOpts struct {
 	// Trace, when non-nil, records timed spans of the search (gmax read,
 	// queue pops, node expansions, TIA probes) into it.
 	Trace *obs.Trace
+	// Span, when non-nil, is the caller's request span: the query stages
+	// (cache probe, best-first search, cache store) are recorded as its
+	// children in the structured span tree. Orthogonal to Trace, which
+	// aggregates per-operation timings rather than building a tree.
+	Span *obs.Span
 	// NoCache bypasses the tree's shared epoch-versioned cache for this
 	// query: no result-cache lookup, no aggregate-cache lookups, no stores.
 	NoCache bool
@@ -106,6 +111,7 @@ func (t *Tree) runQueryCtx(ctx context.Context, q Query, o *QueryOpts) ([]Result
 	var rkey resultKey
 	var rhash uint64
 	if cache != nil {
+		ps := o.Span.StartChild("cache_probe")
 		rkey = resultKey{
 			tree: t.id, x: q.X, y: q.Y,
 			start: q.Iq.Start, end: q.Iq.End,
@@ -114,6 +120,8 @@ func (t *Tree) runQueryCtx(ctx context.Context, q Query, o *QueryOpts) ([]Result
 		rhash = hashResultKey(rkey)
 		v, ok := cache.Get(rhash, rkey)
 		stats.IO.AddRead(resultCacheTag, ok)
+		ps.SetAttr("hit", ok)
+		ps.End()
 		if ok {
 			stats.ResultCacheHit = true
 			stats.CacheHits++
@@ -122,12 +130,20 @@ func (t *Tree) runQueryCtx(ctx context.Context, q Query, o *QueryOpts) ([]Result
 		}
 		stats.CacheMisses++
 	}
+	ss := o.Span.StartChild("search")
 	res, err := t.searchTopKCtx(ctx, q, o, &stats)
+	if ss != nil {
+		ss.SetAttr("results", len(res))
+		ss.SetAttr("node_accesses", stats.NodeAccesses())
+		ss.End()
+	}
 	if err != nil {
 		return res, stats, err
 	}
 	if cache != nil {
+		cs := o.Span.StartChild("cache_store")
 		cache.Put(rhash, rkey, append([]Result(nil), res...), int64(len(res)+1)*resultBytes)
+		cs.End()
 	}
 	return res, stats, nil
 }

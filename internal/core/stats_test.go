@@ -201,7 +201,7 @@ func TestQueryTracedRecordsSpans(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spans := make(map[string]obs.Span)
+	spans := make(map[string]obs.SpanStat)
 	for _, s := range trace.Spans() {
 		spans[s.Name] = s
 	}

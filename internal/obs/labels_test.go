@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := map[string]string{
+		"plain":            "plain",
+		`back\slash`:       `back\\slash`,
+		`quo"te`:           `quo\"te`,
+		"new\nline":        `new\nline`,
+		"query:p99<50ms":   "query:p99<50ms", // '<' is legal, untouched
+		"\\\"\n":           `\\\"\n`,
+		"":                 "",
+		"ünïcode ≠ ascii…": "ünïcode ≠ ascii…",
+	}
+	for in, want := range cases {
+		if got := escapeLabelValue(in); got != want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseLabels(t *testing.T) {
+	pairs, ok := parseLabels(`a="b",c="d,e",f="g=h"`)
+	if !ok {
+		t.Fatal("well-formed labels did not parse")
+	}
+	want := [][2]string{{"a", "b"}, {"c", "d,e"}, {"f", "g=h"}}
+	if len(pairs) != len(want) {
+		t.Fatalf("got %v", pairs)
+	}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Errorf("pair %d = %v, want %v", i, pairs[i], want[i])
+		}
+	}
+
+	// Escapes inside values are honored; unknown escapes keep both bytes.
+	pairs, ok = parseLabels(`p="a\\b",q="say \"hi\"",r="l1\nl2",s="\d"`)
+	if !ok {
+		t.Fatal("escaped labels did not parse")
+	}
+	for i, want := range []string{`a\b`, `say "hi"`, "l1\nl2", `\d`} {
+		if pairs[i][1] != want {
+			t.Errorf("value %d = %q, want %q", i, pairs[i][1], want)
+		}
+	}
+
+	for _, bad := range []string{`a=`, `a="b`, `="b"`, `a="b"c="d"`, `a"b"`, `a="b",`} {
+		if _, ok := parseLabels(bad); ok {
+			t.Errorf("parseLabels(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestSanitizeLabels(t *testing.T) {
+	// Well-formed input is byte-identical on output: existing exposition
+	// strings (SLO labels with '<', le="+Inf") must not change.
+	for _, s := range []string{
+		``,
+		`a="b"`,
+		`slo="query:p99<50ms",outcome="good"`,
+		`le="+Inf"`,
+		`p="a\\b",q="say \"hi\""`,
+	} {
+		if got := sanitizeLabels(s); got != s {
+			t.Errorf("sanitizeLabels(%q) = %q, want unchanged", s, got)
+		}
+	}
+	// Raw interpolation of a value holding a newline or quote-free
+	// backslash gets re-escaped.
+	if got, want := sanitizeLabels("msg=\"l1\nl2\""), `msg="l1\nl2"`; got != want {
+		t.Errorf("sanitizeLabels newline = %q, want %q", got, want)
+	}
+	// Malformed input falls back to verbatim.
+	if got := sanitizeLabels(`broken`); got != "broken" {
+		t.Errorf("malformed fallback = %q", got)
+	}
+}
+
+// TestLabelEscapingRoundTrip registers metrics whose label values carry
+// every character the exposition format escapes, renders the registry, and
+// parses the lines back: the recovered values must equal the originals and
+// no line may contain a raw quote or newline inside a value.
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	raw := map[string]string{
+		"path":  `C:\tmp\new`,
+		"msg":   "line1\nline2",
+		"quote": `say "hi"`,
+		"mix":   "a\\\"b\nc",
+		"slo":   "query:p99<50ms",
+	}
+	r := NewRegistry()
+	for k, v := range raw {
+		// Callers build labeled names with %q, which escapes Go-style —
+		// compatible with the exposition escapes for \, " and newline.
+		r.Counter(fmt.Sprintf("rt_total{label=%q,which=%q}", v, k)).Add(1)
+	}
+
+	var buf strings.Builder
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]string)
+	for _, ln := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(ln, "rt_total{") {
+			continue
+		}
+		open := strings.IndexByte(ln, '{')
+		close := strings.LastIndexByte(ln, '}')
+		if open < 0 || close < open {
+			t.Fatalf("unparseable line %q", ln)
+		}
+		pairs, ok := parseLabels(ln[open+1 : close])
+		if !ok {
+			t.Fatalf("exposition labels do not parse: %q", ln)
+		}
+		var label, which string
+		for _, kv := range pairs {
+			switch kv[0] {
+			case "label":
+				label = kv[1]
+			case "which":
+				which = kv[1]
+			}
+		}
+		got[which] = label
+	}
+	if len(got) != len(raw) {
+		t.Fatalf("round-tripped %d series, want %d: %v", len(got), len(raw), got)
+	}
+	for k, want := range raw {
+		if got[k] != want {
+			t.Errorf("label %q round-tripped to %q, want %q", k, got[k], want)
+		}
+	}
+	// No physical exposition line may span multiple lines or carry an
+	// unescaped quote inside a value.
+	for _, ln := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if strings.HasPrefix(ln, "rt_total") && !strings.HasSuffix(ln, " 1") {
+			t.Errorf("line broken by unescaped newline: %q", ln)
+		}
+	}
+}

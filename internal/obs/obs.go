@@ -140,7 +140,13 @@ func (h *Histogram) BucketCounts() []int64 {
 // inside the bucket holding the target rank. Observations in the +Inf
 // bucket clamp to the largest finite bound. Returns 0 with no observations.
 func (h *Histogram) Quantile(q float64) float64 {
-	counts := h.BucketCounts()
+	return bucketQuantile(h.bounds, h.BucketCounts(), q)
+}
+
+// bucketQuantile is the shared quantile estimator over (bounds, counts)
+// pairs — used by live Histograms and by HistogramSnapshot values restored
+// from JSON or produced by callback histograms.
+func bucketQuantile(bounds []float64, counts []int64, q float64) float64 {
 	var total int64
 	for _, c := range counts {
 		total += c
@@ -156,20 +162,23 @@ func (h *Histogram) Quantile(q float64) float64 {
 		if float64(cum) < rank || c == 0 {
 			continue
 		}
-		if i >= len(h.bounds) { // +Inf bucket
-			return h.bounds[len(h.bounds)-1]
+		if i >= len(bounds) { // +Inf bucket
+			if len(bounds) == 0 {
+				return 0
+			}
+			return bounds[len(bounds)-1]
 		}
 		lo := 0.0
 		if i > 0 {
-			lo = h.bounds[i-1]
+			lo = bounds[i-1]
 		}
-		hi := h.bounds[i]
+		hi := bounds[i]
 		return lo + (hi-lo)*(rank-prev)/float64(c)
 	}
-	if len(h.bounds) == 0 {
+	if len(bounds) == 0 {
 		return 0
 	}
-	return h.bounds[len(h.bounds)-1]
+	return bounds[len(bounds)-1]
 }
 
 // HistogramSnapshot is the JSON-friendly view of a histogram.
@@ -181,6 +190,12 @@ type HistogramSnapshot struct {
 	P50    float64   `json:"p50"`
 	P95    float64   `json:"p95"`
 	P99    float64   `json:"p99"`
+}
+
+// Quantile estimates the q-quantile of a snapshot, with the same semantics
+// as Histogram.Quantile.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	return bucketQuantile(s.Bounds, s.Counts, q)
 }
 
 // Snapshot returns the histogram's current state with p50/p95/p99
@@ -214,6 +229,14 @@ func (counterFunc) metricType() string { return "counter" }
 type gaugeFunc func() float64
 
 func (gaugeFunc) metricType() string { return "gauge" }
+
+// histogramFunc is a callback histogram: its whole snapshot is produced at
+// export time. The runtime-telemetry collector uses it to publish
+// distributions the Go runtime maintains itself (GC pauses, scheduler
+// latencies) without double bookkeeping.
+type histogramFunc func() HistogramSnapshot
+
+func (histogramFunc) metricType() string { return "histogram" }
 
 // Registry is a named collection of metrics. The zero value is not usable;
 // call NewRegistry.
@@ -302,6 +325,17 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 	r.metrics[name] = gaugeFunc(fn)
 }
 
+// HistogramFunc registers a callback histogram whose snapshot is produced at
+// export time. Re-registering the same name replaces the callback.
+func (r *Registry) HistogramFunc(name string, fn func() HistogramSnapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.metrics[name]; !ok {
+		r.order = append(r.order, name)
+	}
+	r.metrics[name] = histogramFunc(fn)
+}
+
 // snapshotMetrics copies the name→metric map under the lock so exports
 // don't hold it while formatting.
 func (r *Registry) snapshotMetrics() ([]string, map[string]metric) {
@@ -322,6 +356,112 @@ func splitName(name string) (base, labels string) {
 		return name[:i], name[i+1 : len(name)-1]
 	}
 	return name, ""
+}
+
+// escapeLabelValue escapes a raw label value for the text exposition
+// format: backslash, double quote and newline must be written as \\, \"
+// and \n or scrapers mis-parse the line.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// parseLabels splits an embedded label set `a="b",c="d"` into key/raw-value
+// pairs, honoring backslash escapes inside quoted values (\\, \", \n; an
+// unknown escape keeps both characters). ok is false when the string does
+// not parse, in which case the caller should fall back to emitting it
+// verbatim.
+func parseLabels(labels string) (pairs [][2]string, ok bool) {
+	s := labels
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return nil, false
+		}
+		key := s[:eq]
+		var val strings.Builder
+		i := eq + 2
+		closed := false
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte('\\')
+					val.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, false
+		}
+		pairs = append(pairs, [2]string{key, val.String()})
+		if i == len(s) {
+			return pairs, true
+		}
+		if s[i] != ',' || i+1 == len(s) {
+			return nil, false
+		}
+		s = s[i+1:]
+	}
+	return pairs, true
+}
+
+// sanitizeLabels re-renders an embedded label set with every value
+// properly escaped, so raw interpolation by callers (values carrying
+// quotes, backslashes or newlines) cannot corrupt the exposition. A label
+// string that does not parse is returned unchanged.
+func sanitizeLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	pairs, ok := parseLabels(labels)
+	if !ok {
+		return labels
+	}
+	var b strings.Builder
+	b.Grow(len(labels))
+	for i, kv := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[0])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[1]))
+		b.WriteByte('"')
+	}
+	return b.String()
 }
 
 // joinLabels merges an embedded label set with one extra label.
@@ -356,7 +496,7 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	}
 	line := func(base, labels string, v float64) error {
 		if labels != "" {
-			return emit("%s{%s} %s\n", base, labels, formatValue(v))
+			return emit("%s{%s} %s\n", base, sanitizeLabels(labels), formatValue(v))
 		}
 		return emit("%s %s\n", base, formatValue(v))
 	}
@@ -380,28 +520,43 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 		case gaugeFunc:
 			err = line(base, labels, m())
 		case *Histogram:
-			counts := m.BucketCounts()
-			var cum int64
-			for i, b := range m.Bounds() {
-				cum += counts[i]
-				if err = line(base+"_bucket", joinLabels(labels, fmt.Sprintf("le=%q", formatValue(b))), float64(cum)); err != nil {
-					break
-				}
-			}
-			if err == nil {
-				cum += counts[len(counts)-1]
-				if err = line(base+"_bucket", joinLabels(labels, `le="+Inf"`), float64(cum)); err == nil {
-					if err = line(base+"_sum", labels, m.Sum()); err == nil {
-						err = line(base+"_count", labels, float64(m.Count()))
-					}
-				}
-			}
+			err = writeHistogramLines(line, base, labels, m.Bounds(), m.BucketCounts(), m.Sum(), m.Count())
+		case histogramFunc:
+			s := m()
+			err = writeHistogramLines(line, base, labels, s.Bounds, s.Counts, s.Sum, s.Count)
 		}
 		if err != nil {
 			return total, err
 		}
 	}
 	return total, nil
+}
+
+// writeHistogramLines renders one histogram in the exposition format:
+// cumulative le-labeled buckets, the +Inf bucket, sum and count. Bucket
+// count slices are len(bounds)+1 (the extra entry is +Inf); shorter slices
+// are tolerated and treated as zero-filled.
+func writeHistogramLines(line func(base, labels string, v float64) error,
+	base, labels string, bounds []float64, counts []int64, sum float64, count int64) error {
+	var cum int64
+	for i, b := range bounds {
+		if i < len(counts) {
+			cum += counts[i]
+		}
+		if err := line(base+"_bucket", joinLabels(labels, fmt.Sprintf("le=%q", formatValue(b))), float64(cum)); err != nil {
+			return err
+		}
+	}
+	if len(counts) > len(bounds) {
+		cum += counts[len(bounds)]
+	}
+	if err := line(base+"_bucket", joinLabels(labels, `le="+Inf"`), float64(cum)); err != nil {
+		return err
+	}
+	if err := line(base+"_sum", labels, sum); err != nil {
+		return err
+	}
+	return line(base+"_count", labels, float64(count))
 }
 
 // Snapshot returns a machine-readable view of every metric: counters as
@@ -422,6 +577,8 @@ func (r *Registry) Snapshot() map[string]any {
 			out[name] = m()
 		case *Histogram:
 			out[name] = m.Snapshot()
+		case histogramFunc:
+			out[name] = m()
 		}
 	}
 	return out

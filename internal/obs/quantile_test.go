@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestQuantileEmpty pins the no-observations behavior: every quantile is 0.
+func TestQuantileEmpty(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	var s HistogramSnapshot
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("zero snapshot Quantile(0.5) = %g, want 0", got)
+	}
+}
+
+// TestQuantileSingleBucket pins linear interpolation inside one bucket:
+// with all mass in [0, 10], the q-quantile is 10q.
+func TestQuantileSingleBucket(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	for i := 0; i < 5; i++ {
+		h.Observe(3)
+	}
+	cases := map[float64]float64{0: 0, 0.2: 2, 0.5: 5, 0.9: 9, 1: 10}
+	for q, want := range cases {
+		if got := h.Quantile(q); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", q, got, want)
+		}
+	}
+}
+
+// TestQuantileInfBucket pins the +Inf clamp: observations above the last
+// finite bound report the last finite bound, never +Inf or a panic.
+func TestQuantileInfBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(100) // +Inf bucket
+	h.Observe(200) // +Inf bucket
+	for _, q := range []float64{0.9, 0.99, 1} {
+		if got := h.Quantile(q); got != 2 {
+			t.Errorf("Quantile(%g) = %g, want clamp to last finite bound 2", q, got)
+		}
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %g, want lower edge of first bucket", got)
+	}
+	// Degenerate layout: no finite bounds at all, everything is +Inf.
+	// There is no finite bound to clamp to, so the estimate is 0 rather
+	// than a panic or +Inf.
+	e := NewHistogram([]float64{})
+	e.Observe(7)
+	if got := e.Quantile(0.5); got != 0 {
+		t.Errorf("no-bounds Quantile(0.5) = %g, want 0", got)
+	}
+	if got := e.Count(); got != 1 {
+		t.Errorf("no-bounds Count = %d", got)
+	}
+}
+
+// TestQuantileExtremes pins q=0 and q=1 on a multi-bucket layout: q=0 is
+// the lower edge of the first occupied bucket, q=1 the upper bound of the
+// last occupied one.
+func TestQuantileExtremes(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	h.Observe(1.5) // bucket (1,2]
+	h.Observe(3)   // bucket (2,4]
+	h.Observe(3.5) // bucket (2,4]
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %g, want 1 (lower edge of first occupied bucket)", got)
+	}
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) = %g, want 4 (upper bound of last occupied bucket)", got)
+	}
+	// Quantiles are monotone in q.
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: Quantile(%g)=%g < %g", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines; under -race this doubles as the data-race check for the
+// atomic bucket/sum/count accounting.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram([]float64{0.25, 0.5, 0.75, 1})
+	const (
+		workers = 8
+		perG    = 1000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(w*perG+i) / float64(workers*perG)) // in [0,1)
+				if i%64 == 0 {
+					_ = h.Quantile(0.5) // concurrent reads must be safe too
+					_ = h.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*perG {
+		t.Fatalf("Count = %d, want %d (lost updates)", got, workers*perG)
+	}
+	var n int64
+	for _, c := range h.BucketCounts() {
+		n += c
+	}
+	if n != workers*perG {
+		t.Fatalf("bucket counts sum to %d, want %d", n, workers*perG)
+	}
+	// Sum of i/N for i in [0, N) is (N-1)/2; CAS accumulation must not
+	// drop any addend.
+	want := float64(workers*perG-1) / 2
+	if got := h.Sum(); math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("Sum = %g, want %g", got, want)
+	}
+	if p50 := h.Quantile(0.5); math.Abs(p50-0.5) > 0.01 {
+		t.Fatalf("p50 of uniform [0,1) = %g", p50)
+	}
+}

@@ -31,7 +31,7 @@ type TraceRecord struct {
 	Elapsed time.Duration `json:"elapsed_ns"`
 	Results int           `json:"results"`
 	Err     string        `json:"error,omitempty"`
-	Spans   []Span        `json:"spans,omitempty"`
+	Spans   []SpanStat    `json:"spans,omitempty"`
 	IO      []IOLine      `json:"io,omitempty"`
 }
 

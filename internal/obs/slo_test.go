@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSLO(t *testing.T) {
+	o, err := ParseSLO("query:p99<50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Service != "query" || o.Kind != "p99" || o.Threshold != 0.05 {
+		t.Fatalf("parsed %+v", o)
+	}
+	if got := o.Target(); got != 0.99 {
+		t.Fatalf("target %v, want 0.99", got)
+	}
+	if got := o.String(); got != "query:p99<50ms" {
+		t.Fatalf("String() = %q", got)
+	}
+
+	o, err = ParseSLO("ingest:error_rate<0.001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Kind != "error_rate" || o.Threshold != 0.001 {
+		t.Fatalf("parsed %+v", o)
+	}
+	if got := o.Target(); got != 0.999 {
+		t.Fatalf("target %v, want 0.999", got)
+	}
+
+	for _, bad := range []string{
+		"", "query", "query:p99", "query:<50ms", ":p99<50ms",
+		"query:p99<", "query:p99<fast", "query:p0<50ms", "query:p100<50ms",
+		"query:error_rate<1.5", "query:error_rate<0", "query:mean<50ms",
+	} {
+		if _, err := ParseSLO(bad); err == nil {
+			t.Errorf("ParseSLO(%q): want error", bad)
+		}
+	}
+}
+
+func TestParseSLOs(t *testing.T) {
+	objs, err := ParseSLOs("query:p99<50ms, ingest:p95<20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 || objs[1].Service != "ingest" {
+		t.Fatalf("objs %+v", objs)
+	}
+	if objs, err := ParseSLOs(""); err != nil || objs != nil {
+		t.Fatalf("empty spec: %v %v", objs, err)
+	}
+	if _, err := ParseSLOs("query:p99<50ms,bogus"); err == nil {
+		t.Fatal("want error for bad clause in list")
+	}
+}
+
+func TestSLOTrackerBurnRate(t *testing.T) {
+	obj, _ := ParseSLO("query:p99<50ms")
+	tr := NewSLOTracker([]Objective{obj})
+	clock := time.Unix(1_700_000_000, 0)
+	tr.now = func() time.Time { return clock }
+
+	// 99 fast + 1 slow request: exactly at budget, burn rate 1.0.
+	for i := 0; i < 99; i++ {
+		tr.Observe("query", 10*time.Millisecond, false)
+	}
+	tr.Observe("query", 200*time.Millisecond, false)
+	if br := tr.BurnRate(obj, sloShortWindow); br < 0.99 || br > 1.01 {
+		t.Fatalf("burn rate %v, want ~1.0", br)
+	}
+	// Errors count as bad even when fast.
+	tr.Observe("query", time.Millisecond, true)
+	if br := tr.BurnRate(obj, sloShortWindow); br <= 1.01 {
+		t.Fatalf("burn rate %v after error, want > 1", br)
+	}
+	// Other services are ignored.
+	tr.Observe("ingest", time.Second, true)
+	g, b := tr.states[0].good.Load(), tr.states[0].bad.Load()
+	if g != 99 || b != 2 {
+		t.Fatalf("good/bad = %d/%d, want 99/2", g, b)
+	}
+
+	// Advance past the short window: its burn rate decays to 0, the long
+	// window still remembers.
+	clock = clock.Add(6 * time.Minute)
+	if br := tr.BurnRate(obj, sloShortWindow); br != 0 {
+		t.Fatalf("short burn rate after window passed: %v, want 0", br)
+	}
+	if br := tr.BurnRate(obj, sloLongWindow); br == 0 {
+		t.Fatal("long burn rate should still be non-zero")
+	}
+	clock = clock.Add(2 * time.Hour)
+	if br := tr.BurnRate(obj, sloLongWindow); br != 0 {
+		t.Fatalf("long burn rate after 2h: %v, want 0", br)
+	}
+}
+
+func TestSLOTrackerNilSafe(t *testing.T) {
+	var tr *SLOTracker
+	tr.Observe("query", time.Millisecond, false)
+	tr.Register(NewRegistry())
+	if tr.Objectives() != nil {
+		t.Fatal("nil tracker objectives")
+	}
+	if tr.BurnRate(Objective{}, sloShortWindow) != 0 {
+		t.Fatal("nil tracker burn rate")
+	}
+	if NewSLOTracker(nil) != nil {
+		t.Fatal("empty objective list should yield nil tracker")
+	}
+}
+
+func TestSLOTrackerRegister(t *testing.T) {
+	objs, _ := ParseSLOs("query:p99<50ms")
+	tr := NewSLOTracker(objs)
+	tr.Observe("query", 10*time.Millisecond, false)
+	tr.Observe("query", 80*time.Millisecond, false)
+	r := NewRegistry()
+	tr.Register(r)
+
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`tartree_slo_requests_total{slo="query:p99<50ms",outcome="good"} 1`,
+		`tartree_slo_requests_total{slo="query:p99<50ms",outcome="bad"} 1`,
+		`tartree_slo_burn_rate{slo="query:p99<50ms",window="5m"}`,
+		`tartree_slo_burn_rate{slo="query:p99<50ms",window="1h"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,344 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sink := NewTraceBuffer(4)
+	sp := StartTrace("root", SpanContext{}, sink)
+	sc := sp.Context()
+	if !sc.Valid() {
+		t.Fatalf("root context invalid: %+v", sc)
+	}
+	hdr := sc.Traceparent()
+	got, err := ParseTraceparent(hdr)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", hdr, err)
+	}
+	if got != sc {
+		t.Fatalf("round trip: got %+v want %+v", got, sc)
+	}
+	sp.Finish()
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"00-abc-def-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span id
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // version ff forbidden
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",    // missing flags
+		"00-XYZ92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // non-hex
+	} {
+		if _, err := ParseTraceparent(bad); err == nil {
+			t.Errorf("ParseTraceparent(%q): want error", bad)
+		}
+	}
+	// Sampled flag parses.
+	sc, err := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Sampled {
+		t.Error("flags 01: want sampled")
+	}
+	sc, err = ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Sampled {
+		t.Error("flags 00: want unsampled")
+	}
+}
+
+func TestSpanTreeStructure(t *testing.T) {
+	sink := NewTraceBuffer(4)
+	root := StartTrace("request", SpanContext{}, sink)
+	a := root.StartChild("validate")
+	a.SetAttr("checkins", 3)
+	time.Sleep(time.Millisecond)
+	a.End()
+	b := root.StartChild("append")
+	fsync := b.StartChild("fsync_batch")
+	fsync.AddLink(SpanContext{TraceID: newTraceID(), SpanID: newSpanID(), Sampled: true})
+	fsync.End()
+	b.End()
+	root.Finish()
+
+	if sink.Len() != 1 {
+		t.Fatalf("sink holds %d traces, want 1", sink.Len())
+	}
+	ft := sink.Traces()[0]
+	if got := len(ft.Spans); got != 4 {
+		t.Fatalf("trace has %d spans, want 4", got)
+	}
+	if ft.Root().Name != "request" {
+		t.Fatalf("root span %q, want request", ft.Root().Name)
+	}
+	va := ft.Find("validate")
+	if va == nil || va.Parent != ft.Root().ID {
+		t.Fatalf("validate span missing or mis-parented: %+v", va)
+	}
+	if len(va.Attrs) != 1 || va.Attrs[0].Key != "checkins" {
+		t.Fatalf("validate attrs: %+v", va.Attrs)
+	}
+	if va.Duration() <= 0 {
+		t.Fatalf("validate duration %v, want > 0", va.Duration())
+	}
+	fb := ft.Find("fsync_batch")
+	if fb == nil || fb.Parent != ft.Find("append").ID {
+		t.Fatalf("fsync_batch mis-parented: %+v", fb)
+	}
+	if len(fb.Links) != 1 {
+		t.Fatalf("fsync_batch links: %+v", fb.Links)
+	}
+	if kids := ft.Children(ft.Root().ID); len(kids) != 2 {
+		t.Fatalf("root has %d children, want 2", len(kids))
+	}
+}
+
+func TestSpanJoinsRemoteParent(t *testing.T) {
+	remote := SpanContext{TraceID: newTraceID(), SpanID: newSpanID(), Sampled: true}
+	sink := NewTraceBuffer(1)
+	root := StartTrace("ingest", remote, sink)
+	if root.Context().TraceID != remote.TraceID {
+		t.Fatalf("trace id %v, want joined %v", root.Context().TraceID, remote.TraceID)
+	}
+	root.Finish()
+	if got := sink.Traces()[0].TraceID; got != remote.TraceID {
+		t.Fatalf("finished trace id %v, want %v", got, remote.TraceID)
+	}
+}
+
+func TestNilSpanIsNoop(t *testing.T) {
+	var sp *Span
+	sp.SetAttr("k", "v")
+	sp.AddLink(SpanContext{})
+	sp.End()
+	sp.Finish()
+	sp.AttachTrace(NewTrace())
+	if c := sp.StartChild("x"); c != nil {
+		t.Fatalf("nil span child: %v", c)
+	}
+	if sp.Context().Valid() {
+		t.Fatal("nil span context should be invalid")
+	}
+	if sp.Duration() != 0 {
+		t.Fatal("nil span duration should be 0")
+	}
+	// Nil sink disables the whole trace.
+	if st := StartTrace("x", SpanContext{}, nil); st != nil {
+		t.Fatalf("StartTrace with nil sink: %v", st)
+	}
+	// Nil context carries no span.
+	if SpanFromContext(context.Background()) != nil {
+		t.Fatal("empty context should carry no span")
+	}
+}
+
+func TestContextCarriesSpan(t *testing.T) {
+	sink := NewTraceBuffer(1)
+	sp := StartTrace("root", SpanContext{}, sink)
+	ctx := ContextWithSpan(context.Background(), sp)
+	if got := SpanFromContext(ctx); got != sp {
+		t.Fatalf("SpanFromContext: got %v want %v", got, sp)
+	}
+	sp.Finish()
+}
+
+func TestFinishClosesOpenChildren(t *testing.T) {
+	sink := NewTraceBuffer(1)
+	root := StartTrace("root", SpanContext{}, sink)
+	root.StartChild("leaked") // never ended
+	root.Finish()
+	ft := sink.Traces()[0]
+	leaked := ft.Find("leaked")
+	if leaked.End.IsZero() {
+		t.Fatal("leaked span not closed by Finish")
+	}
+	if leaked.End.After(ft.Root().End) {
+		t.Fatal("leaked span closed after root end")
+	}
+}
+
+func TestSelfTimesTelescope(t *testing.T) {
+	sink := NewTraceBuffer(1)
+	root := StartTrace("root", SpanContext{}, sink)
+	for i := 0; i < 3; i++ {
+		c := root.StartChild("stage")
+		time.Sleep(time.Millisecond)
+		c.End()
+	}
+	root.Finish()
+	ft := sink.Traces()[0]
+	var sum time.Duration
+	for _, s := range ft.Spans {
+		sum += ft.SelfTime(s.ID)
+	}
+	rootDur := ft.Root().Duration()
+	diff := sum - rootDur
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > rootDur/100 {
+		t.Fatalf("self times sum %v vs root %v: diff %v", sum, rootDur, diff)
+	}
+}
+
+func TestTraceBufferRing(t *testing.T) {
+	sink := NewTraceBuffer(2)
+	for i := 0; i < 3; i++ {
+		sp := StartTrace("t", SpanContext{}, sink)
+		sp.Finish()
+	}
+	if sink.Len() != 2 {
+		t.Fatalf("ring len %d, want 2", sink.Len())
+	}
+	if sink.Finished() != 3 {
+		t.Fatalf("finished %d, want 3", sink.Finished())
+	}
+	// Oldest-first order: the two survivors are the 2nd and 3rd traces.
+	traces := sink.Traces()
+	if len(traces) != 2 || traces[0].TraceID == traces[1].TraceID {
+		t.Fatalf("traces: %v", traces)
+	}
+	if sink.Find(traces[1].TraceID) != traces[1] {
+		t.Fatal("Find by id failed")
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	sink := NewTraceBuffer(2)
+	root := StartTrace("query", SpanContext{}, sink)
+	c := root.StartChild("search")
+	c.AddLink(SpanContext{TraceID: newTraceID(), SpanID: newSpanID(), Sampled: true})
+	c.End()
+	root.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sink.Traces()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "[\n") {
+		t.Fatalf("chrome export must open a JSON array, got %q", out[:2])
+	}
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")[1:]
+	if len(lines) != 2 {
+		t.Fatalf("got %d event lines, want 2", len(lines))
+	}
+	for _, line := range lines {
+		line = strings.TrimSuffix(line, ",")
+		var ev struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Dur  int64          `json:"dur"`
+			Args map[string]any `json:"args"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("event line %q: %v", line, err)
+		}
+		if ev.Ph != "X" {
+			t.Fatalf("event phase %q, want X", ev.Ph)
+		}
+		if ev.Args["trace_id"] == "" {
+			t.Fatal("event missing trace_id arg")
+		}
+	}
+	if !strings.Contains(out, `"links"`) {
+		t.Fatal("link missing from chrome export")
+	}
+}
+
+func TestFileTraceSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewFileTraceSink(&buf)
+	for i := 0; i < 2; i++ {
+		sp := StartTrace("t", SpanContext{}, sink)
+		sp.Finish()
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "[\n") {
+		t.Fatal("file sink must open a JSON array once")
+	}
+	if strings.Count(out, "[\n") != 1 {
+		t.Fatal("array opener written more than once")
+	}
+	if strings.Count(out, `"ph":"X"`) != 2 {
+		t.Fatalf("want 2 events, got: %s", out)
+	}
+}
+
+func TestSpanIDMarshalJSON(t *testing.T) {
+	sc := SpanContext{TraceID: newTraceID(), SpanID: newSpanID(), Sampled: true}
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SpanContext
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != sc {
+		t.Fatalf("json round trip: got %+v want %+v", got, sc)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	sink := NewTraceBuffer(1)
+	root := StartTrace("root", SpanContext{}, sink)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.StartChild("worker")
+			c.SetAttr("n", 1)
+			c.End()
+		}()
+	}
+	wg.Wait()
+	root.Finish()
+	if got := len(sink.Traces()[0].Spans); got != 9 {
+		t.Fatalf("got %d spans, want 9", got)
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	sink := NewTraceBuffer(1)
+	root := StartTrace("query", SpanContext{}, sink)
+	c := root.StartChild("search")
+	c.SetAttr("k", 10)
+	c.End()
+	root.Finish()
+	var buf bytes.Buffer
+	sink.Traces()[0].WriteTree(&buf)
+	out := buf.String()
+	for _, want := range []string{"trace ", "query", "└─ search", "k=10"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tree output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIDsUnique(t *testing.T) {
+	seen := make(map[SpanID]bool)
+	for i := 0; i < 10000; i++ {
+		id := newSpanID()
+		if id.IsZero() || seen[id] {
+			t.Fatalf("duplicate or zero span id at %d", i)
+		}
+		seen[id] = true
+	}
+}

@@ -35,8 +35,9 @@ type SpanStats struct {
 	Max   time.Duration `json:"max_ns"`
 }
 
-// Span is one named aggregate in a trace report.
-type Span struct {
+// SpanStat is one named aggregate in a trace report (the hot-path
+// aggregation; the structured span tree lives in span.go).
+type SpanStat struct {
 	Name string `json:"name"`
 	SpanStats
 }
@@ -92,15 +93,15 @@ func (t *Trace) Elapsed() time.Duration {
 }
 
 // Spans returns the aggregated spans in first-observed order.
-func (t *Trace) Spans() []Span {
+func (t *Trace) Spans() []SpanStat {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]Span, 0, len(t.order))
+	out := make([]SpanStat, 0, len(t.order))
 	for _, name := range t.order {
-		out = append(out, Span{Name: name, SpanStats: *t.spans[name]})
+		out = append(out, SpanStat{Name: name, SpanStats: *t.spans[name]})
 	}
 	return out
 }

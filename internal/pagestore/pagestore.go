@@ -370,6 +370,10 @@ type Buffer struct {
 	// clock is the logical access clock behind the LRU stamps.
 	clock atomic.Int64
 	stats bufStats
+	// base is the cumulative-stats snapshot taken by the last ResetStats;
+	// Stats reports cumulative − base, the same windowing scheme the tia
+	// factories use against their shared sinks. Guarded by mu.
+	base  Stats
 	sinks []Sink
 	// tagSinks caches the TagSink assertion per sink (nil where the sink
 	// is untagged), so the per-access fan-out costs no type switches.
@@ -394,14 +398,6 @@ func (s *bufStats) snapshot() Stats {
 		PhysicalWrites: s.physicalWrites.Load(),
 		Evictions:      s.evictions.Load(),
 	}
-}
-
-func (s *bufStats) reset() {
-	s.logicalReads.Store(0)
-	s.physicalReads.Store(0)
-	s.logicalWrites.Store(0)
-	s.physicalWrites.Store(0)
-	s.evictions.Store(0)
 }
 
 // NewBuffer creates a buffer pool with the given number of slots over f.
@@ -674,29 +670,39 @@ func (b *Buffer) Drop() {
 	b.frames = make(map[PageID]*frame, b.slots)
 }
 
-// Stats returns a snapshot of the traffic counters.
+// Stats returns the buffer's traffic since the last ResetStats (or since
+// creation if it was never reset).
 func (b *Buffer) Stats() Stats {
+	b.mu.RLock()
+	base := b.base
+	b.mu.RUnlock()
+	return b.stats.snapshot().Sub(base)
+}
+
+// TotalStats returns the buffer's cumulative traffic since creation,
+// unaffected by ResetStats. Because the underlying counters are never
+// zeroed, the sum of TotalStats over every buffer attached to one
+// CounterSink equals that sink's Snapshot at all times — the invariant
+// TestResetStatsLeavesSinkIntact pins.
+func (b *Buffer) TotalStats() Stats {
 	return b.stats.snapshot()
 }
 
-// ResetStats zeroes the buffer's local traffic counters; buffered pages
-// stay cached.
+// ResetStats starts a new Stats window by remembering the current
+// cumulative counters as the base; buffered pages stay cached.
 //
-// Attached sinks are deliberately NOT reset: a sink may be shared by many
-// buffers (one CounterSink aggregates an entire TIA factory), so zeroing it
-// here would corrupt the other buffers' contribution. The contract is:
+// This is the same windowing scheme the tia factories use: nothing is ever
+// zeroed, so attached sinks (which may be shared by many buffers) keep
+// their exact totals and the sink/buffer accounting identity
 //
-//   - Buffer.Stats is per buffer and resets here.
-//   - Sinks are cumulative; readers that need windows diff snapshots (the
-//     tia factories' ResetStats remembers a base snapshot and subtracts).
+//	sink.Snapshot() == Σ attached buffers' TotalStats()
 //
-// After ResetStats, a sink's snapshot therefore no longer equals the sum of
-// the attached buffers' Stats — it exceeds it by exactly the traffic
-// accumulated before the reset. TestResetStatsLeavesSinkIntact pins this.
+// holds across resets. Stats answers the windowed view, TotalStats the
+// cumulative one.
 func (b *Buffer) ResetStats() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.stats.reset()
+	b.base = b.stats.snapshot()
 }
 
 // Resize changes the number of buffer slots, evicting frames as needed.

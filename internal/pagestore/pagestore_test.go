@@ -352,10 +352,10 @@ func TestCounterSinkSharedAcrossBuffers(t *testing.T) {
 }
 
 // TestResetStatsLeavesSinkIntact pins the Buffer.ResetStats / CounterSink
-// contract: local buffer counters reset, shared sinks keep accumulating.
-// (Regression test: the two used to be described as interchangeable, but a
-// sink may be shared by many buffers, so a buffer-level reset must never
-// zero it; window readers diff sink snapshots instead.)
+// contract: ResetStats opens a new Stats window by base-snapshot
+// subtraction (the same scheme tia factories use), it never zeroes the
+// underlying counters, so shared sinks keep accumulating and
+// sink.Snapshot() == Σ attached buffers' TotalStats() holds across resets.
 func TestResetStatsLeavesSinkIntact(t *testing.T) {
 	f := NewMemFile(32)
 	var sink CounterSink
@@ -402,6 +402,54 @@ func TestResetStatsLeavesSinkIntact(t *testing.T) {
 	}
 	if got := sink.Snapshot().Sub(pre); got != local {
 		t.Fatalf("sink minus pre-reset %+v != buffer stats %+v", got, local)
+	}
+	// TotalStats is the cumulative view: unaffected by the reset, and in
+	// lock-step with the sink at all times.
+	if got, want := b.TotalStats(), sink.Snapshot(); got != want {
+		t.Fatalf("TotalStats %+v != sink snapshot %+v", got, want)
+	}
+	if got, want := b.TotalStats(), pre.Add(local); got != want {
+		t.Fatalf("TotalStats %+v != pre-reset + window %+v", got, want)
+	}
+}
+
+// TestResetStatsWindowsPerBuffer is the multi-buffer regression test for
+// the reset semantic: resetting one buffer must not disturb the other's
+// window, and the shared sink must always equal the sum of TotalStats.
+func TestResetStatsWindowsPerBuffer(t *testing.T) {
+	f := NewMemFile(32)
+	var sink CounterSink
+	b1 := NewBufferWithSink(f, 2, &sink)
+	b2 := NewBufferWithSink(f, 0, &sink) // pass-through
+	id1, _ := b1.Alloc()
+	id2, _ := b2.Alloc()
+	page := bytes.Repeat([]byte{7}, 32)
+	b1.Put(id1, page)
+	b2.Put(id2, page)
+	b1.Get(id1)
+	b2.Get(id2)
+
+	before2 := b2.Stats()
+	b1.ResetStats()
+	if got := b1.Stats(); got != (Stats{}) {
+		t.Fatalf("b1 window after reset = %+v, want zero", got)
+	}
+	if got := b2.Stats(); got != before2 {
+		t.Fatalf("b1 reset disturbed b2's window: %+v != %+v", got, before2)
+	}
+	if got, want := sink.Snapshot(), b1.TotalStats().Add(b2.TotalStats()); got != want {
+		t.Fatalf("sink %+v != sum of TotalStats %+v", got, want)
+	}
+
+	// More traffic after the reset: the invariant keeps holding, and each
+	// buffer's window is exactly its own post-reset traffic.
+	b1.Get(id1)
+	b2.Get(id2)
+	if got := b1.Stats(); got.LogicalReads != 1 {
+		t.Fatalf("b1 window = %+v, want 1 logical read", got)
+	}
+	if got, want := sink.Snapshot(), b1.TotalStats().Add(b2.TotalStats()); got != want {
+		t.Fatalf("sink %+v != sum of TotalStats %+v after more traffic", got, want)
 	}
 }
 

@@ -27,6 +27,7 @@ type Metrics struct {
 	segments      *obs.Gauge     // tartree_wal_segments
 	appendLat     *obs.Histogram // tartree_wal_append_latency_seconds
 	fsyncLat      *obs.Histogram // tartree_wal_fsync_latency_seconds
+	fsyncStallLat *obs.Histogram // tartree_wal_fsync_stall_seconds
 	checkpointLat *obs.Histogram // tartree_wal_checkpoint_duration_seconds
 	batchRecords  *obs.Histogram // tartree_wal_batch_records
 }
@@ -51,6 +52,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		segments:      reg.Gauge("tartree_wal_segments"),
 		appendLat:     reg.Histogram("tartree_wal_append_latency_seconds", nil),
 		fsyncLat:      reg.Histogram("tartree_wal_fsync_latency_seconds", nil),
+		fsyncStallLat: reg.Histogram("tartree_wal_fsync_stall_seconds", nil),
 		checkpointLat: reg.Histogram("tartree_wal_checkpoint_duration_seconds", nil),
 		batchRecords:  reg.Histogram("tartree_wal_batch_records", batchBuckets),
 	}
@@ -71,6 +73,18 @@ func (m *Metrics) fsyncDone(d time.Duration) {
 	}
 	m.fsyncs.Inc()
 	m.fsyncLat.Observe(d.Seconds())
+}
+
+// fsyncStall records how long one append request sat in the commit queue
+// before its batch started — the price of riding someone else's fsync.
+func (m *Metrics) fsyncStall(d time.Duration) {
+	if m == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	m.fsyncStallLat.Observe(d.Seconds())
 }
 
 func (m *Metrics) batchDone(appends int, records int64) {

@@ -44,6 +44,10 @@ type StoreOptions struct {
 	// Metrics/Traces instrument both the WAL and the recovered tree.
 	Metrics *obs.Registry
 	Traces  *obs.TraceRing
+	// TraceSink receives span traces from the ingest pipeline: group-commit
+	// batch traces (linking member ingests), epoch-flush and checkpoint
+	// traces. Per-request ingest spans ride the caller's context (IngestCtx).
+	TraceSink obs.TraceSink
 	// Factory builds the TIAs of a tree recovered from a checkpoint; nil
 	// selects the core default.
 	Factory tia.Factory
@@ -149,6 +153,7 @@ func OpenStore(fs FS, base func() (*core.Tree, error), opts StoreOptions) (*Stor
 		SegmentBytes: opts.SegmentBytes,
 		NoSync:       opts.NoSync,
 		Metrics:      m,
+		TraceSink:    opts.TraceSink,
 	}, ckLSN, func(lsn uint64, c CheckIn) error {
 		return tree.AddCheckIn(c.POI, c.At)
 	})
@@ -206,13 +211,24 @@ func (s *Store) AppliedLSN() uint64 {
 // and everything group-committed with them — are on disk; on error nothing
 // was acknowledged and the tree is untouched.
 func (s *Store) Ingest(cs []CheckIn) (uint64, error) {
+	return s.IngestCtx(context.Background(), cs)
+}
+
+// IngestCtx is Ingest with trace context: when ctx carries a span, the
+// pipeline stages are recorded as children — validate, wal_append (with its
+// fsync_batch durable wait), apply — giving each acknowledged batch a
+// complete latency decomposition.
+func (s *Store) IngestCtx(ctx context.Context, cs []CheckIn) (uint64, error) {
 	if len(cs) == 0 {
 		return s.log.DurableLSN(), nil
 	}
+	parent := obs.SpanFromContext(ctx)
 	// Validate before logging so the post-durability apply cannot fail:
 	// AddCheckIn only rejects unknown POIs and pre-origin timestamps, both
 	// stable properties under concurrent ingest (the WAL path never deletes
 	// POIs).
+	vs := parent.StartChild("validate")
+	vs.SetAttr("records", len(cs))
 	s.mu.RLock()
 	origin := s.tree.Epochs().Origin()
 	var verr error
@@ -227,16 +243,23 @@ func (s *Store) Ingest(cs []CheckIn) (uint64, error) {
 		}
 	}
 	s.mu.RUnlock()
+	vs.End()
 	if verr != nil {
 		return 0, verr
 	}
 
-	last, err := s.log.Append(cs) // blocks until durable
+	ws := parent.StartChild("wal_append")
+	last, err := s.log.AppendCtx(obs.ContextWithSpan(ctx, ws), cs) // blocks until durable
+	ws.End()
 	if err != nil {
 		return 0, err
 	}
 	first := last - uint64(len(cs)) + 1
 
+	as := parent.StartChild("apply")
+	as.SetAttr("first_lsn", first)
+	as.SetAttr("last_lsn", last)
+	defer as.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, c := range cs {
@@ -311,10 +334,17 @@ func (s *Store) FlushEpochs(now int64) error {
 // FlushObserved folds every buffered epoch that has fully elapsed on the
 // tree's own clock — the latest timestamp it has seen. Periodic flush loops
 // use this so "now" advances with the ingested stream rather than wall time.
+// When the store has a trace sink, each flush that runs is recorded as its
+// own "epoch_flush" trace: the flush holds the write lock, so its duration
+// is a direct query-latency tax worth seeing on a timeline.
 func (s *Store) FlushObserved() error {
+	sp := obs.StartTrace("epoch_flush", obs.SpanContext{}, s.opts.TraceSink)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.tree.FlushEpochs(s.tree.Clock())
+	err := s.tree.FlushEpochs(s.tree.Clock())
+	sp.SetAttr("clock", s.tree.Clock())
+	sp.Finish()
+	return err
 }
 
 // Checkpoint writes a snapshot of the tree covering the contiguous applied
@@ -334,13 +364,20 @@ func (s *Store) Checkpoint() (uint64, error) {
 		s.mu.RUnlock()
 		return lsn, nil
 	}
+	ck := obs.StartTrace("checkpoint", obs.SpanContext{}, s.opts.TraceSink)
+	ck.SetAttr("lsn", lsn)
+	defer ck.Finish()
+	enc := ck.StartChild("encode")
 	var buf bytes.Buffer
 	err := s.tree.SaveSnapshot(&buf)
 	s.mu.RUnlock()
+	enc.End()
 	if err != nil {
 		return 0, err
 	}
 
+	ws := ck.StartChild("write_install")
+	defer ws.End()
 	f, err := s.fs.Create(checkpointTmp)
 	if err != nil {
 		return 0, err

@@ -21,6 +21,7 @@
 package wal
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -28,6 +29,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tartree/internal/obs"
 )
 
 // CheckIn is one logged event: a check-in at POI at time At.
@@ -66,6 +69,11 @@ type LogOptions struct {
 	// Metrics, when set, publishes WAL counters and latency histograms
 	// (appends, fsyncs, batch sizes, replay work) into the registry.
 	Metrics *Metrics
+	// TraceSink, when set, receives one trace per group-commit batch. The
+	// batch trace links the span contexts of the member AppendCtx calls it
+	// made durable — the cross-request edge a flamegraph needs to explain
+	// why a 1-record append waited out a 500-record fsync.
+	TraceSink obs.TraceSink
 }
 
 func (o *LogOptions) fill() {
@@ -79,6 +87,13 @@ type appendReq struct {
 	data []byte
 	last uint64
 	done chan error
+
+	// enqueued is when the request entered the commit queue; the committer
+	// reports the gap until its batch starts as fsync stall.
+	enqueued time.Time
+	// link is the caller's fsync_batch span context (zero when the caller
+	// is untraced); the batch trace links it.
+	link obs.SpanContext
 }
 
 // Log is the write-ahead check-in log. All methods are safe for concurrent
@@ -183,26 +198,44 @@ func (l *Log) Segments() int {
 // write+fsync (group commit); each caller returns once its own batch is on
 // disk.
 func (l *Log) Append(cs []CheckIn) (uint64, error) {
+	return l.AppendCtx(context.Background(), cs)
+}
+
+// AppendCtx is Append with trace context: when ctx carries a span (see
+// obs.ContextWithSpan), the durable wait is recorded as a child span
+// "fsync_batch" whose context the group-commit batch trace links back to.
+// The context does not cancel the append — once queued, a record becomes
+// durable regardless.
+func (l *Log) AppendCtx(ctx context.Context, cs []CheckIn) (uint64, error) {
 	if len(cs) == 0 {
 		return l.durable.Load(), nil
 	}
 	req := &appendReq{done: make(chan error, 1)}
 	start := time.Now()
+	var fsSpan *obs.Span
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		fsSpan = parent.StartChild("fsync_batch")
+		fsSpan.SetAttr("records", len(cs))
+		req.link = fsSpan.Context()
+	}
 
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
+		fsSpan.End()
 		return 0, ErrClosed
 	}
 	if l.failed != nil {
 		err := l.failed
 		l.mu.Unlock()
+		fsSpan.End()
 		return 0, err
 	}
 	first := l.nextLSN
 	l.nextLSN += uint64(len(cs))
 	req.last = l.nextLSN - 1
 	req.data = encodeFrames(first, cs)
+	req.enqueued = start
 	l.queue = append(l.queue, req)
 	l.mu.Unlock()
 
@@ -211,6 +244,8 @@ func (l *Log) Append(cs []CheckIn) (uint64, error) {
 	default:
 	}
 	err := <-req.done
+	fsSpan.SetAttr("last_lsn", req.last)
+	fsSpan.End()
 	if err != nil {
 		return 0, err
 	}
@@ -259,9 +294,25 @@ func (l *Log) commitPending() {
 	}
 }
 
-// commit writes and fsyncs one batch.
+// commit writes and fsyncs one batch. When a trace sink is configured the
+// batch gets its own trace, rooted at "wal_commit_batch", linking every
+// traced member append — the batch is shared work with no single parent
+// request, exactly the shape a scatter-gather fan-in has.
 func (l *Log) commit(batch []*appendReq) error {
+	start := time.Now()
+	bt := obs.StartTrace("wal_commit_batch", obs.SpanContext{}, l.opts.TraceSink)
+	for _, req := range batch {
+		l.m.fsyncStall(start.Sub(req.enqueued))
+		if req.link.Valid() {
+			bt.AddLink(req.link)
+		}
+	}
 	var records int64
+	defer func() {
+		bt.SetAttr("appends", len(batch))
+		bt.SetAttr("records", records)
+		bt.Finish()
+	}()
 	for _, req := range batch {
 		if l.segSize >= l.opts.SegmentBytes {
 			first := frameLSN(req.data)
@@ -277,11 +328,14 @@ func (l *Log) commit(batch []*appendReq) error {
 		records += int64(len(req.data) / frameSize)
 	}
 	if !l.opts.NoSync {
-		start := time.Now()
-		if err := l.seg.Sync(); err != nil {
+		sp := bt.StartChild("fsync")
+		fsyncStart := time.Now()
+		err := l.seg.Sync()
+		sp.End()
+		if err != nil {
 			return err
 		}
-		l.m.fsyncDone(time.Since(start))
+		l.m.fsyncDone(time.Since(fsyncStart))
 	}
 	last := batch[len(batch)-1].last
 	l.durable.Store(last)

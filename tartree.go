@@ -91,6 +91,20 @@ type (
 	// bypass, access-counting control. The zero value (or nil) is the
 	// default behavior.
 	QueryOpts = core.QueryOpts
+	// Span is one node of a structured span tree; pass a request span via
+	// QueryOpts.Span and the query stages (cache probe, best-first search,
+	// cache store) are recorded as its children. A nil *Span is a no-op.
+	Span = obs.Span
+	// SpanContext identifies a span for W3C traceparent propagation.
+	SpanContext = obs.SpanContext
+	// FinishedTrace is a completed span tree as delivered to a TraceSink;
+	// render it with WriteTree or export it with WriteChromeTrace.
+	FinishedTrace = obs.FinishedTrace
+	// TraceSink receives finished span traces.
+	TraceSink = obs.TraceSink
+	// TraceBuffer is an in-memory ring of the most recent finished span
+	// traces; it implements TraceSink.
+	TraceBuffer = obs.TraceBuffer
 	// Cache is the shared epoch-versioned aggregate/result cache attached
 	// via Options.Cache; build one with NewCache.
 	Cache = aggcache.Cache
@@ -134,6 +148,17 @@ func NewMetrics() *MetricsRegistry { return obs.NewRegistry() }
 
 // NewTrace creates a per-query trace for QueryOpts.Trace.
 func NewTrace() *Trace { return obs.NewTrace() }
+
+// StartTrace opens a root span whose finished span tree is delivered to
+// sink when the span's Finish is called. A zero parent starts a fresh
+// trace; a parent parsed from a W3C traceparent joins the caller's trace.
+func StartTrace(name string, parent SpanContext, sink TraceSink) *Span {
+	return obs.StartTrace(name, parent, sink)
+}
+
+// NewTraceBuffer creates a ring buffer keeping the last n finished span
+// traces, for use as the sink of StartTrace.
+func NewTraceBuffer(n int) *TraceBuffer { return obs.NewTraceBuffer(n) }
 
 // NewCache creates a shared epoch-versioned cache bounded to roughly
 // maxBytes for Options.Cache. maxBytes <= 0 returns nil, the no-op cache.
