@@ -39,6 +39,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed for query generation")
 		jsonDir  = flag.String("json", "", "also write a BENCH_<exp>.json metrics snapshot into this directory")
 		trcOut   = flag.String("trace-out", "", "append per-batch span traces to this file as Chrome trace_event JSON")
+		expOut   = flag.String("explain-out", "", "append per-query explain objects (calibration experiment) to this file as JSON lines")
 	)
 	flag.Parse()
 
@@ -51,6 +52,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tarbench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if *expOut != "" {
+		if dir := filepath.Dir(*expOut); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "tarbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		f, err := os.OpenFile(*expOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tarbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.ExplainOut = f
 	}
 	var traceSink *obs.FileTraceSink
 	if *trcOut != "" {

@@ -32,6 +32,7 @@ func main() {
 		days     = flag.Int64("days", 128, "query interval length in days (ending at the data set's end)")
 		adj      = flag.Bool("mwa", false, "also compute the minimum weight adjustment")
 		plan     = flag.Bool("plan", false, "consult the cost-model planner before answering")
+		explain  = flag.Bool("explain", false, "print the query's EXPLAIN/ANALYZE: plan estimates, best-first pop log, f(pk) convergence and the pruned frontier")
 		group    = flag.String("grouping", "tar", "entry grouping: tar, spa, agg")
 		showIO   = flag.Bool("io", false, "print the per-component I/O breakdown of the query")
 		showTr   = flag.Bool("trace", false, "print a duration-annotated span tree of the query")
@@ -126,13 +127,24 @@ func main() {
 	// With -trace the query runs under a root span: the stages (cache
 	// probe, best-first search, cache store) land in the span tree printed
 	// after the results.
-	var opts *tartree.QueryOpts
+	opts := &tartree.QueryOpts{}
 	var spans *tartree.TraceBuffer
 	var root *tartree.Span
 	if *showTr {
 		spans = tartree.NewTraceBuffer(1)
 		root = tartree.StartTrace("tarquery", tartree.SpanContext{}, spans)
-		opts = &tartree.QueryOpts{Span: root}
+		opts.Span = root
+	}
+	var exp *tartree.Explain
+	if *explain {
+		exp = tartree.NewExplain()
+		opts.Explain = exp
+		// The estimate-only planner supplies the Section-6 side of the
+		// explain without materializing a scan engine. A plan failure just
+		// leaves the estimates out.
+		if p, err := tartree.NewPlanEstimator(tr).Plan(q); err == nil {
+			exp.Plan = p.Explain()
+		}
 	}
 	start := time.Now()
 	results, stats, err := tr.QueryCtx(context.Background(), q, opts)
@@ -157,6 +169,10 @@ func main() {
 
 	if *showIO {
 		printIOBreakdown(stats)
+	}
+
+	if exp != nil {
+		printExplain(exp)
 	}
 
 	if spans != nil {
@@ -203,6 +219,88 @@ func printIOBreakdown(stats tartree.QueryStats) {
 		fmt.Printf(" (whole result served from cache)")
 	}
 	fmt.Println()
+}
+
+// printExplain renders the EXPLAIN/ANALYZE recorder as an annotated text
+// tree: the plan estimates (when a planner ran), the search actuals, a
+// bounded slice of the pop-by-pop log, the f(pk) convergence timeline and
+// the pruned frontier.
+func printExplain(e *tartree.Explain) {
+	const maxShown = 12
+	fmt.Println("\nEXPLAIN")
+	if p := e.Plan; p != nil {
+		units := "page units"
+		if p.Calibrated {
+			units = "µs"
+		}
+		fmt.Printf("├─ plan: engine=%s  est f(pk)=%.4f  est node accesses=%.1f (leaf %.1f)\n",
+			p.Engine, p.EstimatedFk, p.EstimatedNodeAccesses, p.EstimatedLeafAccesses)
+		fmt.Printf("│       index cost %.1f vs scan cost %.1f [%s], %d cost-model bands\n",
+			p.IndexCost, p.ScanCost, units, len(p.Bands))
+		if actual := e.NodeAccesses(); actual > 0 {
+			fmt.Printf("│       node-access error: %+.1f%% (estimated %.1f, actual %d)\n",
+				100*(p.EstimatedNodeAccesses-float64(actual))/float64(actual),
+				p.EstimatedNodeAccesses, actual)
+		}
+	}
+	fmt.Printf("├─ search: %d pops, heap high-water %d, %d node accesses (by level, leaf first: %v)\n",
+		e.Pops, e.HeapMax, e.NodeAccesses(), e.NodeAccessesByLevel)
+	fmt.Printf("├─ probes: %d TIA page reads (%d physical), cache %d hits / %d misses",
+		e.TIAReads, e.TIAPhysical, e.CacheHits, e.CacheMisses)
+	if e.ResultCacheHit {
+		fmt.Printf(" (whole result from cache)")
+	}
+	fmt.Println()
+	if len(e.PopLog) > 0 {
+		shown := len(e.PopLog)
+		if shown > maxShown {
+			shown = maxShown
+		}
+		fmt.Printf("├─ pop log (%d of %d):\n", shown, e.Pops)
+		for _, p := range e.PopLog[:shown] {
+			kind := fmt.Sprintf("node L%d", p.Level)
+			if p.Level < 0 {
+				kind = fmt.Sprintf("POI %d → result", p.POI)
+			}
+			fmt.Printf("│    #%-4d bound=%.4f (s0=%.4f s1=%.4f)  %-18s heap=%d\n",
+				p.Seq, p.Bound, p.S0, p.S1, kind, p.HeapLen)
+		}
+		if e.LogTruncated || shown < len(e.PopLog) {
+			fmt.Printf("│    … %d more pops\n", e.Pops-shown)
+		}
+	}
+	if len(e.Convergence) > 0 {
+		fmt.Printf("├─ f(pk) convergence:")
+		for _, c := range e.Convergence {
+			fmt.Printf("  r%d=%.4f@pop%d", c.Rank, c.Score, c.Pop)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("└─ frontier: %d pruned element(s) left in the queue", e.FrontierSize)
+	if len(e.Frontier) > 0 {
+		fmt.Printf(", best bound %.4f", e.Frontier[0].Bound)
+		shown := len(e.Frontier)
+		if shown > maxShown {
+			shown = maxShown
+		}
+		fmt.Println()
+		for i, f := range e.Frontier[:shown] {
+			glyph := "├─"
+			if i == shown-1 && !e.FrontierTruncated {
+				glyph = "└─"
+			}
+			kind := fmt.Sprintf("node L%d", f.Level)
+			if f.Level < 0 {
+				kind = fmt.Sprintf("POI %d", f.POI)
+			}
+			fmt.Printf("     %s bound=%.4f  %s\n", glyph, f.Bound, kind)
+		}
+		if e.FrontierTruncated || shown < len(e.Frontier) {
+			fmt.Printf("     └─ … %d more\n", e.FrontierSize-shown)
+		}
+	} else {
+		fmt.Println(" (exhausted)")
+	}
 }
 
 func fatal(err error) {

@@ -17,6 +17,7 @@ import (
 	"tartree/internal/core"
 	"tartree/internal/lbsn"
 	"tartree/internal/obs"
+	"tartree/internal/planner"
 	"tartree/internal/tia"
 	"tartree/internal/wal"
 )
@@ -32,13 +33,19 @@ import (
 // and dataEnd are written before the ready flag is set and never after, so
 // handlers that observe ready==true see them initialized.
 type server struct {
-	tree   *core.Tree // nil until finishStartup
-	store  *wal.Store // nil: ingestion disabled, queries go straight to tree
-	ready  atomic.Bool
-	reg    *obs.Registry
-	traces *obs.TraceRing // may be nil: /debug/traces then serves empty views
-	log    *slog.Logger
-	start  time.Time
+	tree  *core.Tree // nil until finishStartup
+	store *wal.Store // nil: ingestion disabled, queries go straight to tree
+	// planner is the estimate-only optimizer behind ?explain=1: it supplies
+	// the Section-6 plan the explain object reports and feeds the
+	// tartree_planner_* calibration metrics. The server always executes the
+	// index — the plan is advisory, so a stale seqscan can never be chosen
+	// under live ingestion.
+	planner *planner.Planner
+	ready   atomic.Bool
+	reg     *obs.Registry
+	traces  *obs.TraceRing // may be nil: /debug/traces then serves empty views
+	log     *slog.Logger
+	start   time.Time
 	// span of the indexed data, the default query interval
 	dataStart, dataEnd int64
 
@@ -146,8 +153,23 @@ func newPendingServer(reg *obs.Registry, traces *obs.TraceRing, log *slog.Logger
 func (s *server) finishStartup(tree *core.Tree, store *wal.Store, dataStart, dataEnd int64) {
 	s.tree = tree
 	s.store = store
+	s.planner = planner.NewEstimator(tree)
+	s.planner.Instrument(s.reg)
 	s.dataStart, s.dataEnd = dataStart, dataEnd
 	s.ready.Store(true)
+}
+
+// plan runs the Section-6 estimator for an explain request. With a WAL
+// store attached the planner reads the tree's in-memory mirrors, so the
+// estimate runs under the store's read lock like the queries themselves.
+func (s *server) plan(q core.Query) (planner.Plan, error) {
+	if s.store != nil {
+		var pl planner.Plan
+		var err error
+		s.store.View(func(*core.Tree) { pl, err = s.planner.Plan(q) })
+		return pl, err
+	}
+	return s.planner.Plan(q)
 }
 
 // redirectTo sends a 308 Permanent Redirect to the versioned path,
@@ -257,6 +279,10 @@ type queryResponse struct {
 	IO            []obs.IOLine             `json:"io,omitempty"`
 	ElapsedMicros int64                    `json:"elapsed_us"`
 	Trace         map[string]obs.SpanStats `json:"trace,omitempty"`
+	// Explain is the full EXPLAIN/ANALYZE object (plan, pop log, f(pk)
+	// convergence, frontier, probe attribution) when the request asked for
+	// explain=1.
+	Explain *core.Explain `json:"explain,omitempty"`
 }
 
 type queryResult struct {
@@ -270,7 +296,7 @@ type queryResult struct {
 }
 
 // handleQuery answers
-// GET /v1/query?x=..&y=..[&k=][&alpha=][&start=&end=|&days=][&trace=1][&timeout_ms=][&nocache=1].
+// GET /v1/query?x=..&y=..[&k=][&alpha=][&start=&end=|&days=][&trace=1][&timeout_ms=][&nocache=1][&explain=1].
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !s.ready.Load() {
 		httpError(w, http.StatusServiceUnavailable, errRecovering)
@@ -286,6 +312,21 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		opts.Trace = obs.NewTrace()
 	}
 	opts.NoCache = po.nocache
+	var (
+		exp     *core.Explain
+		plan    planner.Plan
+		planned bool
+	)
+	if po.explain {
+		exp = core.NewExplain()
+		opts.Explain = exp
+		// A plan failure (degenerate tree, unfittable distribution) must not
+		// fail the query: the explain then reports actuals without estimates.
+		if pl, perr := s.plan(q); perr == nil {
+			plan, planned = pl, true
+			exp.Plan = plan.Explain()
+		}
+	}
 	// The request context already ends the query when the client goes
 	// away; timeout_ms adds a server-side deadline on top.
 	ctx := r.Context()
@@ -318,9 +359,22 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ex.End()
 	s.inflight.Add(-1)
 	<-s.admission
+	if planned {
+		s.planner.Observe(plan, exp)
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, core.ErrCanceled):
+			if exp != nil {
+				// The recorder was finished with the partial counts and
+				// frontier: a timed-out explain reports what the search had
+				// done, not just the error.
+				writeJSON(w, http.StatusGatewayTimeout, map[string]any{
+					"error":   err.Error(),
+					"explain": exp,
+				})
+				return
+			}
 			httpError(w, http.StatusGatewayTimeout, err)
 		case errors.Is(err, core.ErrInvalid):
 			httpError(w, http.StatusBadRequest, err)
@@ -353,6 +407,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp.Stats.ResultCacheHit = stats.ResultCacheHit
 	resp.IO = core.IOLines(&stats.IO)
 	resp.ElapsedMicros = time.Since(begin).Microseconds()
+	resp.Explain = exp
 	if tr != nil {
 		resp.Trace = make(map[string]obs.SpanStats)
 		for _, sp := range tr.Spans() {
@@ -368,6 +423,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 type parseOpts struct {
 	traced  bool
 	nocache bool
+	explain bool
 	timeout time.Duration
 }
 
@@ -428,6 +484,7 @@ func (s *server) parseQuery(r *http.Request) (core.Query, parseOpts, error) {
 	}
 	po.traced = v.Get("trace") == "1" || v.Get("trace") == "true"
 	po.nocache = v.Get("nocache") == "1" || v.Get("nocache") == "true"
+	po.explain = v.Get("explain") == "1" || v.Get("explain") == "true"
 	return q, po, nil
 }
 

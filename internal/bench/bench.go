@@ -50,6 +50,10 @@ type Config struct {
 	// probe and best-first search stages below each query span. cmd/tarbench
 	// -trace-out writes these as Chrome trace_event JSON.
 	TraceSink obs.TraceSink
+	// ExplainOut, when set, receives one JSON line per explained query from
+	// experiments that run with an explain recorder (currently the
+	// calibration sweep). cmd/tarbench -explain-out points it at a file.
+	ExplainOut io.Writer
 }
 
 func (c Config) datasets() []string {

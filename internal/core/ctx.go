@@ -37,6 +37,14 @@ type QueryOpts struct {
 	// SkipAccessCounting suppresses R-tree node-access counting; callers
 	// that account for shared node accesses externally set it.
 	SkipAccessCounting bool
+	// Explain, when non-nil, records the query's EXPLAIN/ANALYZE forensics:
+	// the best-first pop log, heap high-water mark, per-level node accesses,
+	// probe attribution, f(pk) convergence and the leftover frontier.
+	// QueryCtx finishes the recorder on every path — including errors and
+	// cancellation, where it carries the partial counts — and folds its
+	// compact summary into the trace-ring record. A nil recorder costs one
+	// pointer test per instrumented site and allocates nothing.
+	Explain *Explain
 }
 
 // resultKey identifies a whole ranked result set in the shared cache. It
@@ -74,6 +82,7 @@ func (t *Tree) QueryCtx(ctx context.Context, q Query, opts *QueryOpts) ([]Result
 		begin = time.Now()
 	}
 	res, stats, err := t.runQueryCtx(ctx, q, &o)
+	o.Explain.Finish(res, &stats, err)
 	if t.instr != nil {
 		t.instr.record(stats, len(res), time.Since(begin), err)
 	}
@@ -85,6 +94,7 @@ func (t *Tree) QueryCtx(ctx context.Context, q Query, opts *QueryOpts) ([]Result
 			Results: len(res),
 			Spans:   o.Trace.Spans(),
 			IO:      IOLines(&stats.IO),
+			Explain: o.Explain.Summary(),
 		}
 		if err != nil {
 			rec.Err = err.Error()
@@ -120,6 +130,7 @@ func (t *Tree) runQueryCtx(ctx context.Context, q Query, o *QueryOpts) ([]Result
 		rhash = hashResultKey(rkey)
 		v, ok := cache.Get(rhash, rkey)
 		stats.IO.AddRead(resultCacheTag, ok)
+		o.Explain.recordResultCacheProbe(ok)
 		ps.SetAttr("hit", ok)
 		ps.End()
 		if ok {
@@ -154,11 +165,16 @@ func (t *Tree) searchTopKCtx(ctx context.Context, q Query, o *QueryOpts, stats *
 		Trace:              o.Trace,
 		NoCache:            o.NoCache,
 		SkipAccessCounting: o.SkipAccessCounting,
+		Explain:            o.Explain,
 		Ctx:                ctx,
 	})
 	if err != nil {
 		return nil, err
 	}
+	// Deferred so a canceled search still snapshots what the bound had
+	// pruned up to the abort: explain of a canceled query reports the
+	// partial frontier rather than nothing.
+	defer o.Explain.captureFrontier(s)
 	results := make([]Result, 0, q.K)
 	for len(results) < q.K {
 		r, err := s.Next()
@@ -169,6 +185,7 @@ func (t *Tree) searchTopKCtx(ctx context.Context, q Query, o *QueryOpts, stats *
 			break
 		}
 		results = append(results, *r)
+		o.Explain.recordResult(len(results), r.Score)
 	}
 	return results, nil
 }

@@ -135,6 +135,10 @@ type Scorer struct {
 	// tree has no cache or the search opted out.
 	shared *aggcache.Cache
 	trace  *obs.Trace // nil when tracing is off
+	// explain, when non-nil, receives the scorer's probe attribution (TIA
+	// reads, cache hits/misses) for EXPLAIN/ANALYZE. Nil costs one pointer
+	// test per probe.
+	explain *Explain
 }
 
 // sharedGet probes the cross-query cache for d's aggregate over the query
@@ -146,6 +150,7 @@ func (sc *Scorer) sharedGet(d *aggData) (int64, bool) {
 	}
 	k := sharedAggKey{tia: d.id, iv: sc.q.Iq, sem: sc.t.opts.Semantics, fn: sc.t.opts.AggFunc}
 	v, ok := sc.shared.Get(sharedAggHash(k), k)
+	sc.explain.recordCacheProbe(ok)
 	if sc.stats != nil {
 		sc.stats.IO.AddRead(aggCacheProbeTag, ok)
 		if ok {
@@ -181,10 +186,10 @@ func (sc *Scorer) acctPtr() *pagestore.IOAcct {
 // NewScorer prepares a scorer for q, reading the per-query aggregate
 // normalizer from the tree's global per-epoch-maximum TIA.
 func (t *Tree) NewScorer(q Query, stats *QueryStats, cache AggCache) (*Scorer, error) {
-	return t.newScorer(q, stats, cache, nil, t.opts.Cache)
+	return t.newScorer(q, stats, cache, nil, t.opts.Cache, nil)
 }
 
-func (t *Tree) newScorer(q Query, stats *QueryStats, cache AggCache, tr *obs.Trace, shared *aggcache.Cache) (*Scorer, error) {
+func (t *Tree) newScorer(q Query, stats *QueryStats, cache AggCache, tr *obs.Trace, shared *aggcache.Cache, ex *Explain) (*Scorer, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -192,13 +197,14 @@ func (t *Tree) newScorer(q Query, stats *QueryStats, cache AggCache, tr *obs.Tra
 		cache = make(AggCache)
 	}
 	sc := &Scorer{
-		t:      t,
-		q:      q,
-		qv:     t.scaled(q.X, q.Y),
-		stats:  stats,
-		cache:  cache,
-		shared: shared,
-		trace:  tr,
+		t:       t,
+		q:       q,
+		qv:      t.scaled(q.X, q.Y),
+		stats:   stats,
+		cache:   cache,
+		shared:  shared,
+		trace:   tr,
+		explain: ex,
 	}
 	if stats != nil {
 		sc.acct.IO = &stats.IO
@@ -238,6 +244,7 @@ func (sc *Scorer) maxAggregate() (int64, error) {
 		delta := sc.acct.Stats.Sub(before)
 		sc.stats.TIAAccesses += delta.LogicalReads
 		sc.stats.TIAPhysical += delta.PhysicalReads
+		sc.explain.recordProbe(delta.LogicalReads, delta.PhysicalReads)
 	}
 	sc.cache[key] = a
 	sc.sharedPut(g, a)
@@ -280,6 +287,7 @@ func (sc *Scorer) aggregate(e rstar.Entry) (int64, error) {
 		sc.stats.TIAAccesses += delta.LogicalReads
 		sc.stats.TIAPhysical += delta.PhysicalReads
 		sc.stats.Scored++
+		sc.explain.recordProbe(delta.LogicalReads, delta.PhysicalReads)
 	}
 	sc.cache[key] = a
 	sc.sharedPut(d, a)
@@ -361,6 +369,7 @@ type Search struct {
 	queue         elemHeap
 	stats         *QueryStats
 	trace         *obs.Trace
+	explain       *Explain        // nil when EXPLAIN is off
 	ctx           context.Context // nil = never canceled
 	CountAccesses bool
 }
@@ -384,6 +393,10 @@ type SearchOptions struct {
 	// NoCache bypasses the tree's shared epoch-versioned cache
 	// (Options.Cache) for this search: no lookups, no stores.
 	NoCache bool
+	// Explain, when non-nil, records the search forensics (pops, node
+	// accesses by level, heap high-water mark, probe attribution) into the
+	// recorder. A nil recorder costs one pointer test per site.
+	Explain *Explain
 	// Ctx, when non-nil, is polled on every best-first pop; once canceled
 	// or past its deadline, Next returns an error wrapping ErrCanceled and
 	// the stats collected so far remain valid partial counts.
@@ -408,14 +421,15 @@ func (t *Tree) NewSearchWith(q Query, o SearchOptions) (*Search, error) {
 		sc, err = t.newScorerWithGmax(q, *o.Gmax, o.Stats, o.Cache, shared)
 		if sc != nil {
 			sc.trace = o.Trace
+			sc.explain = o.Explain
 		}
 	} else {
-		sc, err = t.newScorer(q, o.Stats, o.Cache, o.Trace, shared)
+		sc, err = t.newScorer(q, o.Stats, o.Cache, o.Trace, shared, o.Explain)
 	}
 	if err != nil {
 		return nil, err
 	}
-	s := &Search{sc: sc, stats: o.Stats, trace: o.Trace, ctx: o.Ctx, CountAccesses: !o.SkipAccessCounting}
+	s := &Search{sc: sc, stats: o.Stats, trace: o.Trace, explain: o.Explain, ctx: o.Ctx, CountAccesses: !o.SkipAccessCounting}
 	root := t.rt.Root()
 	if o.Stats != nil && !o.SkipAccessCounting {
 		if root.Level == 0 {
@@ -426,6 +440,7 @@ func (t *Tree) NewSearchWith(q Query, o SearchOptions) (*Search, error) {
 			o.Stats.IO.AddRead(pagestore.NewIOTag(pagestore.CompRTreeInternal, root.Level), true)
 		}
 	}
+	o.Explain.recordNodeAccess(root.Level)
 	for _, e := range root.Entries {
 		if err := s.push(e); err != nil {
 			return nil, err
@@ -483,6 +498,7 @@ func (s *Search) push(e rstar.Entry) error {
 		el.childLevel = e.Child.Level
 	}
 	heap.Push(&s.queue, el)
+	s.explain.recordPush(len(s.queue))
 	return nil
 }
 
@@ -503,7 +519,9 @@ func (s *Search) Pop() *Elem {
 	if s.trace != nil {
 		defer s.trace.StartSpan("queue_pop")()
 	}
-	return heap.Pop(&s.queue).(*Elem)
+	el := heap.Pop(&s.queue).(*Elem)
+	s.explain.recordPop(el, len(s.queue))
+	return el
 }
 
 // Expand pushes the children of an internal element, counting one node
@@ -527,6 +545,7 @@ func (s *Search) Expand(el *Elem) error {
 			s.stats.IO.AddRead(pagestore.NewIOTag(pagestore.CompRTreeInternal, n.Level), true)
 		}
 	}
+	s.explain.recordNodeAccess(n.Level)
 	for _, e := range n.Entries {
 		if err := s.push(e); err != nil {
 			return err

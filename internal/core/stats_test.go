@@ -15,7 +15,7 @@ import (
 
 // buildAccountingTree indexes a deterministic grid of POIs with small nodes
 // so the tree has several levels under every grouping.
-func buildAccountingTree(t *testing.T, g Grouping) *Tree {
+func buildAccountingTree(t testing.TB, g Grouping) *Tree {
 	t.Helper()
 	return buildAccountingTreeOpts(t, Options{
 		World:       geo.Rect{Min: geo.Vector{0, 0}, Max: geo.Vector{100, 100}},
@@ -26,7 +26,7 @@ func buildAccountingTree(t *testing.T, g Grouping) *Tree {
 	})
 }
 
-func buildAccountingTreeOpts(t *testing.T, opts Options) *Tree {
+func buildAccountingTreeOpts(t testing.TB, opts Options) *Tree {
 	t.Helper()
 	tr, err := NewTree(opts)
 	if err != nil {

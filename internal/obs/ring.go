@@ -19,6 +19,33 @@ type IOLine struct {
 	Evictions int64  `json:"evictions,omitempty"`
 }
 
+// ExplainSummary is the compact form of a query's EXPLAIN/ANALYZE carried
+// by slow-query trace records: the planner's estimates (when a planner
+// ran), the search actuals, and the signed relative node-access error.
+// Like IOLine it is a neutral struct — internal/obs depends on nothing, so
+// core condenses its full explain recorder into this shape.
+type ExplainSummary struct {
+	// Engine and the estimates are zero when the query ran unplanned.
+	Engine            string  `json:"engine,omitempty"`
+	EstimatedAccesses float64 `json:"est_node_accesses,omitempty"`
+	EstimatedFk       float64 `json:"est_fk,omitempty"`
+	// AccessError is the signed relative error of the node-access
+	// estimate: (estimated − actual) / actual.
+	AccessError float64 `json:"access_error,omitempty"`
+
+	ActualAccesses int64   `json:"actual_node_accesses"`
+	ActualFk       float64 `json:"actual_fk"`
+	Pops           int     `json:"pops"`
+	HeapMax        int     `json:"heap_max"`
+	Frontier       int     `json:"frontier"`
+	TIAReads       int64   `json:"tia_reads"`
+	CacheHits      int64   `json:"cache_hits"`
+	ResultCacheHit bool    `json:"result_cache_hit,omitempty"`
+	// Truncated reports that the full recorder capped its pop log or
+	// frontier snapshot; the scalar counts here are exact regardless.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
 // TraceRecord is one finished query as kept by a TraceRing: identity,
 // timing, the aggregated spans (empty when the query ran untraced) and the
 // per-component I/O breakdown.
@@ -33,6 +60,9 @@ type TraceRecord struct {
 	Err     string        `json:"error,omitempty"`
 	Spans   []SpanStat    `json:"spans,omitempty"`
 	IO      []IOLine      `json:"io,omitempty"`
+	// Explain is the compact explain summary when the query ran with an
+	// explain recorder attached; nil otherwise.
+	Explain *ExplainSummary `json:"explain,omitempty"`
 }
 
 // TraceRing keeps the N most recent and the N slowest query records, and

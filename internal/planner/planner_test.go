@@ -12,10 +12,17 @@ import (
 
 func buildTree(t testing.TB, n int, seed int64) (*core.Tree, *rand.Rand) {
 	t.Helper()
+	return buildTreeGrouping(t, n, seed, core.TAR3D)
+}
+
+// buildTreeGrouping is buildTree with the grouping as a parameter, so the
+// crossover tests can pin the planner's decision for every tree layout.
+func buildTreeGrouping(t testing.TB, n int, seed int64, g core.Grouping) (*core.Tree, *rand.Rand) {
+	t.Helper()
 	r := rand.New(rand.NewSource(seed))
 	tr, err := core.NewTree(core.Options{
 		World:       geo.Rect{Min: geo.Vector{0, 0}, Max: geo.Vector{100, 100}},
-		Grouping:    core.TAR3D,
+		Grouping:    g,
 		EpochStart:  0,
 		EpochLength: 10,
 	})

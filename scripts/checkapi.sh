@@ -14,6 +14,44 @@ golden=api/tartree.txt
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 go doc -all . >"$tmp"
+# Presence gate on load-bearing symbols: the golden diff catches drift, but
+# a blind -update can still drop a symbol downstream code depends on. Any
+# name listed here must survive in the regenerated surface, update or not.
+required="
+func New(
+func NewExplain(
+func NewPlanner(
+func NewPlanEstimator(
+func NewCache(
+func NewMetrics(
+func NewTrace(
+type Explain =
+type ExplainPlan =
+type ExplainPop =
+type ExplainPoint =
+type ExplainNode =
+type ExplainBand =
+type Planner =
+type Plan =
+type Engine =
+type QueryOpts =
+type QueryStats =
+UseIndex
+UseScan
+ErrInvalid
+ErrCanceled
+"
+missing=0
+echo "$required" | while IFS= read -r sym; do
+    [ -z "$sym" ] && continue
+    if ! grep -qF "$sym" "$tmp"; then
+        echo "checkapi: required symbol missing from API surface: $sym" >&2
+        exit 1
+    fi
+done || missing=1
+if [ "$missing" -ne 0 ]; then
+    exit 1
+fi
 if [ "${1:-}" = "-update" ]; then
     cp "$tmp" "$golden"
     echo "checkapi: updated $golden"

@@ -46,6 +46,7 @@ import (
 	"tartree/internal/core"
 	"tartree/internal/geo"
 	"tartree/internal/obs"
+	"tartree/internal/planner"
 	"tartree/internal/tia"
 )
 
@@ -110,6 +111,38 @@ type (
 	Cache = aggcache.Cache
 	// CacheStats is a point-in-time snapshot of a Cache's counters.
 	CacheStats = aggcache.Stats
+	// Explain is the per-query EXPLAIN/ANALYZE recorder: create one with
+	// NewExplain, attach it via QueryOpts.Explain, and after the query it
+	// holds the plan (when a planner ran), the best-first pop log, the f(pk)
+	// convergence timeline, the pruned frontier and the probe attribution.
+	// A nil *Explain is free.
+	Explain = core.Explain
+	// ExplainPlan is the planner's side of an explain: engine choice and
+	// Section-6 estimates.
+	ExplainPlan = core.ExplainPlan
+	// ExplainPop is one best-first pop of an explain's pop log.
+	ExplainPop = core.ExplainPop
+	// ExplainPoint is one step of the kth-score convergence timeline.
+	ExplainPoint = core.ExplainPoint
+	// ExplainNode is one never-expanded frontier element.
+	ExplainNode = core.ExplainNode
+	// ExplainBand is one slab of the Section-6.3 node-access estimation.
+	ExplainBand = core.ExplainBand
+	// Planner is the Section-6 cost-model query optimizer; build one with
+	// NewPlanner (both engines) or NewPlanEstimator (estimates only).
+	Planner = planner.Planner
+	// Plan is the optimizer's decision with its supporting estimates.
+	Plan = planner.Plan
+	// Engine names the execution strategy a Plan selects.
+	Engine = planner.Engine
+)
+
+// Engines a Plan can select.
+const (
+	// UseIndex answers with best-first search over the TAR-tree.
+	UseIndex = planner.UseIndex
+	// UseScan answers with the sequential scan.
+	UseScan = planner.UseScan
 )
 
 // Sentinel errors of the query path, for errors.Is.
@@ -148,6 +181,20 @@ func NewMetrics() *MetricsRegistry { return obs.NewRegistry() }
 
 // NewTrace creates a per-query trace for QueryOpts.Trace.
 func NewTrace() *Trace { return obs.NewTrace() }
+
+// NewExplain creates an empty EXPLAIN/ANALYZE recorder for
+// QueryOpts.Explain.
+func NewExplain() *Explain { return core.NewExplain() }
+
+// NewPlanner builds a cost-model planner for tr with both engines: Plan
+// chooses between the TAR-tree and a sequential scan materialized from the
+// tree's POI histories, and Query executes the choice.
+func NewPlanner(tr *Tree) (*Planner, error) { return planner.New(tr) }
+
+// NewPlanEstimator builds an estimate-only planner: Plan and the
+// calibration metrics work, but no scan engine is materialized and Query
+// always executes the tree. Servers attach one for EXPLAIN support.
+func NewPlanEstimator(tr *Tree) *Planner { return planner.NewEstimator(tr) }
 
 // StartTrace opens a root span whose finished span tree is delivered to
 // sink when the span's Finish is called. A zero parent starts a fresh
