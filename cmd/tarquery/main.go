@@ -38,6 +38,7 @@ func main() {
 		showTr   = flag.Bool("trace", false, "print a duration-annotated span tree of the query")
 		replay   = flag.String("replay", "", "build an empty index and feed this check-in stream (written by datagen -checkins) through the live ingest path instead of bulk-loading histories")
 		cacheB   = flag.Int64("cache-bytes", 64<<20, "shared aggregate/result cache size in bytes (0 disables)")
+		doFreeze = flag.Bool("freeze", true, "compile the index into its pointer-free flat layout before querying")
 	)
 	flag.Parse()
 
@@ -99,6 +100,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+	if *doFreeze {
+		tr.Freeze()
 	}
 	leaves, internals := tr.NodeCount()
 	fmt.Printf("built %s over %s: %d effective POIs, %d leaf + %d internal nodes, height %d (%v)\n",

@@ -72,6 +72,8 @@ func main() {
 		cacheB  = flag.Int64("cache-bytes", 64<<20, "shared aggregate/result cache size in bytes (0 disables)")
 		trcOut  = flag.String("trace-out", "", "append finished span traces to this file as Chrome trace_event JSON")
 		sloSpec = flag.String("slo", "", `latency/error objectives, e.g. "query:p99<50ms,ingest:p99<100ms" (burn rates on /metrics)`)
+		snapV3  = flag.Bool("snapshot-v3", true, "write checkpoints in the flat snapshot-v3 format (section reads at startup, no rebuild); recovery reads either format")
+		freeze  = flag.Bool("freeze", true, "compile the index into its pointer-free flat layout after startup; queries traverse the frozen slabs")
 	)
 	flag.Parse()
 
@@ -144,6 +146,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *freeze {
+			tr.Freeze()
+		}
 		logIndex(log, tr, buildStart)
 		srv.finishStartup(tr, nil, d.Spec.Start, d.Spec.End)
 		select {}
@@ -164,11 +169,12 @@ func main() {
 		return d.Build(lbsn.BuildOptions{Grouping: g, Metrics: reg, Traces: ring, Cache: cache})
 	}
 	store, err := wal.OpenStore(fs, base, wal.StoreOptions{
-		Metrics:   reg,
-		Traces:    ring,
-		NoSync:    *noSync,
-		Cache:     cache,
-		TraceSink: srv.spanSink,
+		Metrics:    reg,
+		Traces:     ring,
+		NoSync:     *noSync,
+		Cache:      cache,
+		TraceSink:  srv.spanSink,
+		SnapshotV3: *snapV3,
 	})
 	if err != nil {
 		fatal(err)
@@ -191,6 +197,14 @@ func main() {
 		}
 	}
 
+	// A v3 checkpoint restores the frozen layout directly; otherwise (gob
+	// checkpoint, fresh build, or replay seeding) compile it now. With
+	// -freeze=false a pre-frozen recovery is dropped so the flag wins.
+	if *freeze && !store.Frozen() {
+		store.Freeze()
+	} else if !*freeze && store.Frozen() {
+		store.Unfreeze()
+	}
 	logIndex(log, store.Tree(), buildStart)
 	srv.finishStartup(store.Tree(), store, d.Spec.Start, d.Spec.End)
 

@@ -92,6 +92,113 @@ func New(buf *pagestore.Buffer) (*Tree, error) {
 	return t, nil
 }
 
+// NewBulk builds a tree over buf from strictly increasing keys in one
+// bottom-up pass: the leaf level is written left to right, then each inner
+// level over the one below. Records are spread evenly over ceil(n/cap)
+// nodes per level, so every node meets the deletion minimum fill and later
+// Puts and Deletes behave exactly as on an incrementally built tree. The
+// cost is one page write per node — no reads, no splits — which is what
+// makes snapshot restores cheap.
+func NewBulk(buf *pagestore.Buffer, keys []int64, vals []Value) (*Tree, error) {
+	if len(keys) != len(vals) {
+		return nil, fmt.Errorf("btree: bulk load with %d keys but %d values", len(keys), len(vals))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			return nil, fmt.Errorf("btree: bulk-load keys not strictly increasing at index %d", i)
+		}
+	}
+	if len(keys) == 0 {
+		return New(buf)
+	}
+	ps := buf.PageSize()
+	t := &Tree{
+		buf:      buf,
+		leafCap:  (ps - headerSize) / leafEntry,
+		innerCap: (ps - headerSize - 4) / innerEntry,
+		pageSize: ps,
+		scratch:  make([]byte, ps),
+	}
+	if t.leafCap < 3 || t.innerCap < 3 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooSmall, ps)
+	}
+
+	// child is one finished node of the level below, carried upward with
+	// the smallest key of its subtree (the separator above it).
+	type child struct {
+		id  pagestore.PageID
+		min int64
+	}
+
+	// Leaf level. All leaf pages are allocated first so each can chain to
+	// its right sibling as it is written.
+	n := len(keys)
+	nleaves := (n + t.leafCap - 1) / t.leafCap
+	ids := make([]pagestore.PageID, nleaves)
+	var err error
+	for i := range ids {
+		if ids[i], err = buf.Alloc(); err != nil {
+			return nil, err
+		}
+	}
+	level := make([]child, 0, nleaves)
+	off := 0
+	for i := 0; i < nleaves; i++ {
+		cnt := n / nleaves
+		if i < n%nleaves {
+			cnt++
+		}
+		nd := &node{id: ids[i], leaf: true, level: 1, keys: keys[off : off+cnt], vals: vals[off : off+cnt]}
+		if i+1 < nleaves {
+			nd.next = ids[i+1]
+		}
+		if err := t.writeNode(nd); err != nil {
+			return nil, err
+		}
+		level = append(level, child{ids[i], keys[off]})
+		off += cnt
+	}
+	t.count = n
+	t.height = 1
+
+	// Inner levels, bottom-up, until one node remains.
+	for len(level) > 1 {
+		t.height++
+		m := len(level)
+		nnodes := (m + t.innerCap) / (t.innerCap + 1)
+		next := make([]child, 0, nnodes)
+		off := 0
+		for i := 0; i < nnodes; i++ {
+			cnt := m / nnodes
+			if i < m%nnodes {
+				cnt++
+			}
+			group := level[off : off+cnt]
+			id, err := buf.Alloc()
+			if err != nil {
+				return nil, err
+			}
+			nd := &node{id: id, level: t.height}
+			nd.children = make([]pagestore.PageID, cnt)
+			nd.keys = make([]int64, cnt-1)
+			for j, c := range group {
+				nd.children[j] = c.id
+				if j > 0 {
+					nd.keys[j-1] = c.min
+				}
+			}
+			if err := t.writeNode(nd); err != nil {
+				return nil, err
+			}
+			next = append(next, child{id, group[0].min})
+			off += cnt
+		}
+		level = next
+	}
+	t.root = level[0].id
+	return t, nil
+}
+
 // Len returns the number of keys stored.
 func (t *Tree) Len() int { return t.count }
 

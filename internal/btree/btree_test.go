@@ -356,3 +356,74 @@ func TestOverwriteAcrossSplits(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestNewBulk builds trees of every small size (and a few larger ones) at a
+// page size that forces several levels, and requires each to be
+// indistinguishable from an incrementally built tree: same scan contents,
+// valid invariants (Check enforces the deletion minimum fill bulk loading
+// must respect), and fully mutable afterwards.
+func TestNewBulk(t *testing.T) {
+	sizes := []int{0, 1, 2, 3, 7, 8, 9, 50, 64, 100, 500, 2000}
+	for _, n := range sizes {
+		keys := make([]int64, n)
+		vals := make([]Value, n)
+		for i := range keys {
+			keys[i] = int64(i*3 - n) // strictly increasing, crosses zero
+			vals[i] = Value{int64(i), int64(i * 2)}
+		}
+		buf := pagestore.NewBuffer(pagestore.NewMemFile(256), 64)
+		tr, err := NewBulk(buf, keys, vals)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tr.Len())
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		var got int
+		err = tr.Scan(-1<<62, 1<<62, func(k int64, v Value) bool {
+			if k != keys[got] || v != vals[got] {
+				t.Fatalf("n=%d: scan[%d] = %d/%v, want %d/%v", n, got, k, v, keys[got], vals[got])
+			}
+			got++
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != n {
+			t.Fatalf("n=%d: scanned %d", n, got)
+		}
+		// The bulk-built tree accepts point reads and mutations.
+		if n > 0 {
+			if v, ok, err := tr.Get(keys[n/2]); err != nil || !ok || v != vals[n/2] {
+				t.Fatalf("n=%d: Get(%d) = %v %v %v", n, keys[n/2], v, ok, err)
+			}
+			if ok, err := tr.Delete(keys[0]); err != nil || !ok {
+				t.Fatalf("n=%d: Delete: %v %v", n, ok, err)
+			}
+		}
+		if err := tr.Put(1<<40, Value{7, 7}); err != nil {
+			t.Fatalf("n=%d: Put: %v", n, err)
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("n=%d after mutation: %v", n, err)
+		}
+	}
+}
+
+// TestNewBulkRejectsUnsorted: duplicate and descending keys must error.
+func TestNewBulkRejectsUnsorted(t *testing.T) {
+	buf := pagestore.NewBuffer(pagestore.NewMemFile(256), 64)
+	if _, err := NewBulk(buf, []int64{1, 1}, []Value{{}, {}}); err == nil {
+		t.Fatal("duplicate keys accepted")
+	}
+	if _, err := NewBulk(buf, []int64{2, 1}, []Value{{}, {}}); err == nil {
+		t.Fatal("descending keys accepted")
+	}
+	if _, err := NewBulk(buf, []int64{1}, nil); err == nil {
+		t.Fatal("mismatched value count accepted")
+	}
+}

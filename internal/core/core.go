@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync/atomic"
 
 	"tartree/internal/aggcache"
@@ -266,6 +267,12 @@ type Tree struct {
 	clock   int64                            // latest time observed
 	pending map[tia.Interval]map[int64]int64 // epoch → poi → count
 
+	// frozen is the flat compilation of rt installed by Freeze; queries that
+	// opt in (SearchOptions.AllowFrozen) traverse it instead of the pointer
+	// tree. Structural mutations drop it; check-in ingest does not (the
+	// shared aggregate handles observe new flushes, structure is untouched).
+	frozen *rstar.FlatTree
+
 	instr  *instruments   // nil unless Options.Metrics is set
 	traces *obs.TraceRing // nil unless Options.Traces is set
 }
@@ -306,18 +313,25 @@ func NewTree(opts Options) (*Tree, error) {
 	}
 	t.global = newAggData(tia.NewMem(), disk, true)
 
+	t.rt = rstar.New(t.rstarConfig())
+	return t, nil
+}
+
+// rstarConfig builds the R-tree configuration the tree's options imply;
+// NewTree, Rebuild and the snapshot-v3 loader (which thaws a frozen layout
+// into a pointer tree) must agree on it.
+func (t *Tree) rstarConfig() rstar.Config {
 	var strat rstar.Strategy
-	if opts.Grouping == IndAgg {
+	if t.opts.Grouping == IndAgg {
 		strat = &aggStrategy{}
 	}
-	t.rt = rstar.New(rstar.Config{
+	return rstar.Config{
 		Dims:            t.dims,
-		Capacity:        CapacityFor(opts.NodeSize, t.dims),
+		Capacity:        CapacityFor(t.opts.NodeSize, t.dims),
 		Strategy:        strat,
 		Aug:             &treeAug{t: t},
-		DisableReinsert: opts.DisableReinsert,
-	})
-	return t, nil
+		DisableReinsert: t.opts.DisableReinsert,
+	}
 }
 
 // Options returns the (filled-in) options the tree was created with.
@@ -434,6 +448,7 @@ func (t *Tree) InsertPOI(p POI, history []tia.Record) error {
 	t.pois[p.ID] = st
 	st.inTree = true
 	t.invalidateCache()
+	t.frozen = nil
 	return t.rt.Insert(rstar.Entry{
 		Rect: t.leafRect(st),
 		Item: rstar.Item(p.ID),
@@ -470,6 +485,7 @@ func (t *Tree) DeletePOI(id int64) (bool, error) {
 	if removed {
 		delete(t.pois, id)
 		t.invalidateCache()
+		t.frozen = nil
 		if err := st.data.disk.Destroy(); err != nil {
 			return true, err
 		}
@@ -616,20 +632,11 @@ func currentAgg(m *tia.Mem, ts int64) (int64, bool) {
 // this as the remedy for drift as the LBSN grows (Section 8.2).
 func (t *Tree) Rebuild() error {
 	t.invalidateCache()
+	t.frozen = nil
 	if err := t.refreshGlobals(); err != nil {
 		return err
 	}
-	var strat rstar.Strategy
-	if t.opts.Grouping == IndAgg {
-		strat = &aggStrategy{}
-	}
-	rt := rstar.New(rstar.Config{
-		Dims:            t.dims,
-		Capacity:        CapacityFor(t.opts.NodeSize, t.dims),
-		Strategy:        strat,
-		Aug:             &treeAug{t: t},
-		DisableReinsert: t.opts.DisableReinsert,
-	})
+	rt := rstar.New(t.rstarConfig())
 	old := t.rt
 	t.rt = rt
 	for _, st := range t.pois {
@@ -655,6 +662,7 @@ func (t *Tree) RebuildBulk() error {
 		return t.Rebuild()
 	}
 	t.invalidateCache()
+	t.frozen = nil
 	if err := t.refreshGlobals(); err != nil {
 		return err
 	}
@@ -667,6 +675,9 @@ func (t *Tree) RebuildBulk() error {
 			Data: st.data,
 		})
 	}
+	// Map iteration is randomized; sort so rebuilds (and the snapshots
+	// written from them) are deterministic for a given POI set.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Item < entries[j].Item })
 	rt, err := rstar.BulkLoad(rstar.Config{
 		Dims:     t.dims,
 		Capacity: CapacityFor(t.opts.NodeSize, t.dims),

@@ -167,6 +167,7 @@ func (t *Tree) searchTopKCtx(ctx context.Context, q Query, o *QueryOpts, stats *
 		SkipAccessCounting: o.SkipAccessCounting,
 		Explain:            o.Explain,
 		Ctx:                ctx,
+		AllowFrozen:        true,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"tartree/internal/tia"
+)
+
+// frozenTestQueries covers a selective top-k, an exhaustive drain and two
+// weight extremes (near-pure-distance and near-pure-aggregate ranking).
+func frozenTestQueries(tr *Tree) []Query {
+	return []Query{
+		{X: 50, Y: 50, Iq: tia.Interval{Start: 0, End: 600}, K: 25, Alpha0: 0.5},
+		{X: 12, Y: 88, Iq: tia.Interval{Start: 100, End: 400}, K: 10, Alpha0: 0.9},
+		{X: 97, Y: 3, Iq: tia.Interval{Start: 200, End: 300}, K: 40, Alpha0: 0.1},
+		exhaustiveQuery(tr),
+	}
+}
+
+// TestFrozenSearchEquivalence pins the frozen flat traversal to the pointer
+// traversal exactly: for every grouping × TIA backend, the same query on
+// two identically built trees — one frozen, one not — returns identical
+// results, identical QueryStats (node accesses, TIA logical and physical
+// reads, scored entries, the full I/O breakdown) and identical EXPLAIN
+// forensics (pop-by-pop log, per-level accesses, heap high-water mark,
+// frontier). Two twin trees are used, rather than one tree queried twice,
+// because the TIA buffers retain state across queries — the twins guarantee
+// both paths see the same cold/warm buffer sequence.
+func TestFrozenSearchEquivalence(t *testing.T) {
+	for _, g := range []Grouping{TAR3D, IndSpa, IndAgg} {
+		for name, newFac := range explainBackends() {
+			t.Run(g.String()+"/"+name, func(t *testing.T) {
+				pointer := buildAccountingTreeOpts(t, explainTreeOpts(g, newFac()))
+				frozen := buildAccountingTreeOpts(t, explainTreeOpts(g, newFac()))
+				frozen.Freeze()
+				if !frozen.Frozen() {
+					t.Fatal("Freeze did not install the flat layout")
+				}
+				for qi, q := range frozenTestQueries(pointer) {
+					exP, exF := NewExplain(), NewExplain()
+					resP, statsP, err := pointer.QueryCtx(context.Background(), q, &QueryOpts{Explain: exP})
+					if err != nil {
+						t.Fatal(err)
+					}
+					resF, statsF, err := frozen.QueryCtx(context.Background(), q, &QueryOpts{Explain: exF})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(resP, resF) {
+						t.Fatalf("query %d: frozen results differ from pointer results", qi)
+					}
+					if !reflect.DeepEqual(statsP, statsF) {
+						t.Fatalf("query %d: stats differ\npointer: %+v\nfrozen:  %+v", qi, statsP, statsF)
+					}
+					if exP.Pops != exF.Pops || exP.HeapMax != exF.HeapMax {
+						t.Fatalf("query %d: pops %d/%d heapMax %d/%d", qi, exP.Pops, exF.Pops, exP.HeapMax, exF.HeapMax)
+					}
+					if !reflect.DeepEqual(exP.NodeAccessesByLevel, exF.NodeAccessesByLevel) {
+						t.Fatalf("query %d: per-level accesses differ: %v vs %v", qi, exP.NodeAccessesByLevel, exF.NodeAccessesByLevel)
+					}
+					if !reflect.DeepEqual(exP.PopLog, exF.PopLog) {
+						t.Fatalf("query %d: pop logs diverge", qi)
+					}
+					if exP.FrontierSize != exF.FrontierSize || !reflect.DeepEqual(exP.Frontier, exF.Frontier) {
+						t.Fatalf("query %d: frontiers diverge (%d vs %d)", qi, exP.FrontierSize, exF.FrontierSize)
+					}
+					if exP.TIAReads != exF.TIAReads || exP.TIAPhysical != exF.TIAPhysical {
+						t.Fatalf("query %d: TIA reads %d/%d physical %d/%d",
+							qi, exP.TIAReads, exF.TIAReads, exP.TIAPhysical, exF.TIAPhysical)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFreezeLifecycle: structural mutations drop the frozen form; check-in
+// ingest does not (the frozen entries share the aggregate handles), and the
+// frozen answer tracks flushed epochs exactly.
+func TestFreezeLifecycle(t *testing.T) {
+	tr := buildAccountingTreeOpts(t, explainTreeOpts(TAR3D, tia.NewMemFactory()))
+	tr.Freeze()
+
+	// Ingest through the frozen form: flushes must be visible to frozen
+	// queries because structure did not change.
+	for i := 0; i < 50; i++ {
+		if err := tr.AddCheckIn(int64(1+i%7), 610); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Frozen() {
+		t.Fatal("check-in ingest dropped the frozen form")
+	}
+	q := Query{X: 50, Y: 50, Iq: tia.Interval{Start: 0, End: 700}, K: 15, Alpha0: 0.5}
+	resFrozen, _, err := tr.QueryCtx(context.Background(), q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Unfreeze()
+	resPointer, _, err := tr.QueryCtx(context.Background(), q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resFrozen, resPointer) {
+		t.Fatal("frozen query does not observe flushed epochs like the pointer query")
+	}
+
+	// Structural mutations invalidate.
+	tr.Freeze()
+	if err := tr.InsertPOI(POI{ID: 9001, X: 1, Y: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Frozen() {
+		t.Fatal("InsertPOI left a stale frozen form")
+	}
+	tr.Freeze()
+	if _, err := tr.DeletePOI(9001); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Frozen() {
+		t.Fatal("DeletePOI left a stale frozen form")
+	}
+	tr.Freeze()
+	if err := tr.RebuildBulk(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Frozen() {
+		t.Fatal("RebuildBulk left a stale frozen form")
+	}
+}
+
+// TestIndexBytes: the flat layout must be the smaller representation.
+func TestIndexBytes(t *testing.T) {
+	tr := buildAccountingTreeOpts(t, explainTreeOpts(TAR3D, tia.NewMemFactory()))
+	ptr, flat := tr.IndexBytes()
+	if ptr <= 0 || flat != 0 {
+		t.Fatalf("before freeze: pointer=%d flat=%d", ptr, flat)
+	}
+	tr.Freeze()
+	ptr, flat = tr.IndexBytes()
+	if flat <= 0 || flat >= ptr {
+		t.Fatalf("after freeze: flat=%d not in (0, pointer=%d)", flat, ptr)
+	}
+}
+
+// BenchmarkQueryPath compares pointer and frozen traversal on the same
+// deterministic tree and query mix; the acceptance bar is that the frozen
+// path is no slower per node access.
+func BenchmarkQueryPath(b *testing.B) {
+	for _, frozen := range []bool{false, true} {
+		name := "pointer"
+		if frozen {
+			name = "frozen"
+		}
+		b.Run(name, func(b *testing.B) {
+			tr := buildAccountingTreeOpts(b, explainTreeOpts(TAR3D, tia.NewMemFactory()))
+			if frozen {
+				tr.Freeze()
+			}
+			q := Query{X: 50, Y: 50, Iq: tia.Interval{Start: 0, End: 600}, K: 25, Alpha0: 0.5}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := tr.QueryCtx(context.Background(), q, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -339,11 +339,17 @@ type Elem struct {
 	Entry      rstar.Entry
 	Score      float64
 	S0, S1     float64
-	childLevel int // level of Entry.Child; -1 for leaf entries
+	childLevel int // level of the child node; -1 for leaf entries
+	// flat is the entry's id in the frozen slabs; meaningful only on the
+	// frozen path (Entry.Child stays nil there — the child is addressed
+	// through FlatTree.Children[flat] instead of a pointer).
+	flat int32
 }
 
-// IsPOI reports whether the element is a leaf entry (an actual POI).
-func (el *Elem) IsPOI() bool { return el.Entry.Child == nil }
+// IsPOI reports whether the element is a leaf entry (an actual POI). It
+// keys off the recorded child level, which both the pointer and the frozen
+// path set, rather than the Child pointer only the former has.
+func (el *Elem) IsPOI() bool { return el.childLevel < 0 }
 
 // Node returns the child node of an internal element (nil for POIs). The
 // collective scheme uses pointer identity to detect shared front entries.
@@ -365,9 +371,15 @@ func (h *elemHeap) Pop() any          { o := *h; n := len(o); x := o[n-1]; *h = 
 // CountAccesses can be disabled by batch processors that account for
 // shared node accesses themselves.
 type Search struct {
-	sc            *Scorer
-	queue         elemHeap
-	stats         *QueryStats
+	sc    *Scorer
+	queue elemHeap
+	stats *QueryStats
+	// ft, when non-nil, switches the traversal to the tree's frozen flat
+	// layout: expansion walks int32 offsets into contiguous slabs instead
+	// of chasing node pointers. Scoring, heap order, stats and explain
+	// accounting are shared with the pointer path, so the two paths produce
+	// identical results and identical counters (pinned by property test).
+	ft            *rstar.FlatTree
 	trace         *obs.Trace
 	explain       *Explain        // nil when EXPLAIN is off
 	ctx           context.Context // nil = never canceled
@@ -401,6 +413,11 @@ type SearchOptions struct {
 	// or past its deadline, Next returns an error wrapping ErrCanceled and
 	// the stats collected so far remain valid partial counts.
 	Ctx context.Context
+	// AllowFrozen lets the search traverse the tree's frozen flat layout
+	// when one is installed (Tree.Freeze); without one it silently runs the
+	// pointer path. Callers that rely on child-node pointer identity (the
+	// collective scheme compares Elem.Node across searches) leave it unset.
+	AllowFrozen bool
 }
 
 // NewSearch starts a best-first search for q. Reading the root node counts
@@ -430,23 +447,44 @@ func (t *Tree) NewSearchWith(q Query, o SearchOptions) (*Search, error) {
 		return nil, err
 	}
 	s := &Search{sc: sc, stats: o.Stats, trace: o.Trace, explain: o.Explain, ctx: o.Ctx, CountAccesses: !o.SkipAccessCounting}
-	root := t.rt.Root()
-	if o.Stats != nil && !o.SkipAccessCounting {
-		if root.Level == 0 {
-			o.Stats.LeafAccesses++
-			o.Stats.IO.AddRead(pagestore.NewIOTag(pagestore.CompRTreeLeaf, 0), true)
-		} else {
-			o.Stats.InternalAccesses++
-			o.Stats.IO.AddRead(pagestore.NewIOTag(pagestore.CompRTreeInternal, root.Level), true)
+	if o.AllowFrozen {
+		if f := t.frozen; f != nil {
+			s.ft = f
+			root := f.Root()
+			s.countNodeAccess(int(root.Level))
+			for i := int32(0); i < root.Count; i++ {
+				if err := s.pushFlat(root.Start + i); err != nil {
+					return nil, err
+				}
+			}
+			return s, nil
 		}
 	}
-	o.Explain.recordNodeAccess(root.Level)
+	root := t.rt.Root()
+	s.countNodeAccess(root.Level)
 	for _, e := range root.Entries {
 		if err := s.push(e); err != nil {
 			return nil, err
 		}
 	}
 	return s, nil
+}
+
+// countNodeAccess records one R-tree node read at the given level into the
+// query stats (unless access counting is off) and the explain recorder. The
+// root read and every Expand — pointer or frozen — go through here, so both
+// traversal paths account identically.
+func (s *Search) countNodeAccess(level int) {
+	if s.CountAccesses && s.stats != nil {
+		if level == 0 {
+			s.stats.LeafAccesses++
+			s.stats.IO.AddRead(pagestore.NewIOTag(pagestore.CompRTreeLeaf, 0), true)
+		} else {
+			s.stats.InternalAccesses++
+			s.stats.IO.AddRead(pagestore.NewIOTag(pagestore.CompRTreeInternal, level), true)
+		}
+	}
+	s.explain.recordNodeAccess(level)
 }
 
 // newScorerWithGmax builds a scorer using a precomputed normalizer.
@@ -502,6 +540,25 @@ func (s *Search) push(e rstar.Entry) error {
 	return nil
 }
 
+// pushFlat scores and enqueues entry eid of the frozen slabs. The
+// materialized Entry carries the exact same rectangle and aggregate handle
+// the pointer tree holds, so components, score and heap order are
+// bit-identical to the pointer path.
+func (s *Search) pushFlat(eid int32) error {
+	e := s.ft.EntryAt(eid)
+	s0, s1, err := s.sc.Components(e)
+	if err != nil {
+		return err
+	}
+	el := &Elem{Entry: e, S0: s0, S1: s1, Score: s.sc.Score(s0, s1), childLevel: -1, flat: eid}
+	if cid := s.ft.Children[eid]; cid >= 0 {
+		el.childLevel = int(s.ft.Nodes[cid].Level)
+	}
+	heap.Push(&s.queue, el)
+	s.explain.recordPush(len(s.queue))
+	return nil
+}
+
 // Peek returns the least-score element without removing it, or nil when
 // the queue is empty.
 func (s *Search) Peek() *Elem {
@@ -527,8 +584,12 @@ func (s *Search) Pop() *Elem {
 // Expand pushes the children of an internal element, counting one node
 // access (when CountAccesses is set). The traced "expand" span covers the
 // R-tree descent including the scoring of the child entries, so the nested
-// "tia_probe" time is a subset of it.
+// "tia_probe" time is a subset of it. On a frozen search the element's
+// child node is resolved through the flat slabs instead of a pointer.
 func (s *Search) Expand(el *Elem) error {
+	if s.ft != nil {
+		return s.expandFlat(el)
+	}
 	n := el.Entry.Child
 	if n == nil {
 		return nil
@@ -536,18 +597,29 @@ func (s *Search) Expand(el *Elem) error {
 	if s.trace != nil {
 		defer s.trace.StartSpan("expand")()
 	}
-	if s.CountAccesses && s.stats != nil {
-		if n.Level == 0 {
-			s.stats.LeafAccesses++
-			s.stats.IO.AddRead(pagestore.NewIOTag(pagestore.CompRTreeLeaf, 0), true)
-		} else {
-			s.stats.InternalAccesses++
-			s.stats.IO.AddRead(pagestore.NewIOTag(pagestore.CompRTreeInternal, n.Level), true)
-		}
-	}
-	s.explain.recordNodeAccess(n.Level)
+	s.countNodeAccess(n.Level)
 	for _, e := range n.Entries {
 		if err := s.push(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// expandFlat is Expand on the frozen layout: the child node is a (level,
+// start, count) triple and its entries are a contiguous run of the slabs —
+// no pointer chase, no per-node slice header.
+func (s *Search) expandFlat(el *Elem) error {
+	if el.childLevel < 0 {
+		return nil
+	}
+	if s.trace != nil {
+		defer s.trace.StartSpan("expand")()
+	}
+	n := s.ft.Nodes[s.ft.Children[el.flat]]
+	s.countNodeAccess(int(n.Level))
+	for i := int32(0); i < n.Count; i++ {
+		if err := s.pushFlat(n.Start + i); err != nil {
 			return err
 		}
 	}

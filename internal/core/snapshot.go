@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -112,9 +114,12 @@ func sortEpochPOIs(se *snapshotEpoch) {
 	se.POIs, se.Counts = pois, counts
 }
 
-// LoadSnapshot reconstructs a tree saved with SaveSnapshot. The TIA factory
-// is supplied fresh (disk state is rebuilt, not deserialized); nil selects
-// the default. The index is bulk-rebuilt for spatial groupings.
+// LoadSnapshot reconstructs a tree saved with SaveSnapshot or
+// SaveSnapshotV3 — the format is detected from the leading magic bytes. The
+// TIA factory is supplied fresh (disk state is rebuilt, not deserialized);
+// nil selects the default. On the legacy gob path the index is bulk-rebuilt
+// for spatial groupings; on the v3 path the frozen layout loads directly
+// from the on-disk sections.
 func LoadSnapshot(r io.Reader, factory tia.Factory) (*Tree, error) {
 	return LoadSnapshotObserved(r, factory, nil, nil, nil)
 }
@@ -125,8 +130,16 @@ func LoadSnapshot(r io.Reader, factory tia.Factory) (*Tree, error) {
 // epoch-versioned cache (nil disables). The WAL recovery path uses it so a
 // restored server keeps its observability surface and cache.
 func LoadSnapshotObserved(r io.Reader, factory tia.Factory, metrics *obs.Registry, traces *obs.TraceRing, cache *aggcache.Cache) (*Tree, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(len(snapshotV3Magic)); err == nil && bytes.Equal(magic, snapshotV3Magic[:]) {
+		b, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading v3 snapshot: %w", err)
+		}
+		return loadSnapshotV3(b, factory, metrics, traces, cache)
+	}
 	var s snapshot
-	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+	if err := gob.NewDecoder(br).Decode(&s); err != nil {
 		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
 	}
 	if s.Version < 1 || s.Version > snapshotVersion {

@@ -3,7 +3,9 @@ package rstar
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // BulkLoad builds a tree from leaf entries with Sort-Tile-Recursive
@@ -16,7 +18,20 @@ import (
 // Bulk loading packs by spatial position, so it applies to the spatial
 // grouping strategies (the integral 3D strategy and IND-spa); trees using
 // custom non-spatial strategies should be built incrementally.
+//
+// The sorting passes run on all available cores; see BulkLoadWorkers for
+// the worker-count contract.
 func BulkLoad(cfg Config, entries []Entry) (*Tree, error) {
+	return BulkLoadWorkers(cfg, entries, 0)
+}
+
+// BulkLoadWorkers is BulkLoad with an explicit sort parallelism; workers
+// <= 0 selects GOMAXPROCS. The worker count never changes the resulting
+// tree: each STR pass is a parallel *stable* merge sort (chunks are
+// stable-sorted concurrently, then merged with ties resolved toward the
+// earlier chunk), so the tiling order is byte-for-byte the order a
+// sequential stable sort would produce, for any worker count.
+func BulkLoadWorkers(cfg Config, entries []Entry, workers int) (*Tree, error) {
 	t := New(cfg)
 	if len(entries) == 0 {
 		return t, nil
@@ -25,6 +40,9 @@ func BulkLoad(cfg Config, entries []Entry) (*Tree, error) {
 		if !e.IsLeafEntry() {
 			return nil, fmt.Errorf("rstar: BulkLoad requires leaf entries")
 		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	// Pack at ~90% fill: near-minimal extents while leaving headroom for
 	// subsequent inserts before the first splits.
@@ -36,7 +54,7 @@ func BulkLoad(cfg Config, entries []Entry) (*Tree, error) {
 	current := append([]Entry(nil), entries...)
 	var nodes []*Node
 	for {
-		groups := strTile(current, per, t.cfg.Dims, t.minFill, t.cfg.Capacity)
+		groups := strTile(current, per, t.cfg.Dims, t.minFill, t.cfg.Capacity, workers)
 		nodes = nodes[:0]
 		for _, g := range groups {
 			// Copy: the groups are slices of one shared array, but nodes
@@ -69,6 +87,7 @@ func BulkLoad(cfg Config, entries []Entry) (*Tree, error) {
 		for i := range n.Entries {
 			if c := n.Entries[i].Child; c != nil {
 				c.Parent = n
+				c.slot = i
 				fixParents(c)
 			}
 		}
@@ -82,12 +101,12 @@ func BulkLoad(cfg Config, entries []Entry) (*Tree, error) {
 // Undersized slab tails are merged into their predecessor (and evenly
 // re-split when the merge would overflow), so every group — except a lone
 // root group — meets the tree's minimum fill.
-func strTile(entries []Entry, per, dims, minFill, capacity int) [][]Entry {
+func strTile(entries []Entry, per, dims, minFill, capacity, workers int) [][]Entry {
 	n := len(entries)
 	if n <= per {
 		return [][]Entry{entries}
 	}
-	groups := tileAxis(entries, per, dims, 0)
+	groups := tileAxis(entries, per, dims, 0, workers)
 	fixed := groups[:1]
 	for i := 1; i < len(groups); i++ {
 		g := groups[i]
@@ -110,10 +129,10 @@ func strTile(entries []Entry, per, dims, minFill, capacity int) [][]Entry {
 
 // tileAxis recursively slices entries along axis, then tiles the slabs
 // along the next axis; at the last axis it emits runs of per entries.
-func tileAxis(entries []Entry, per, dims, axis int) [][]Entry {
+func tileAxis(entries []Entry, per, dims, axis, workers int) [][]Entry {
 	n := len(entries)
 	if axis == dims-1 {
-		sortByAxis(entries, axis)
+		sortByAxis(entries, axis, workers)
 		var out [][]Entry
 		for i := 0; i < n; i += per {
 			end := i + per
@@ -136,22 +155,105 @@ func tileAxis(entries []Entry, per, dims, axis int) [][]Entry {
 	if slabSize < per {
 		slabSize = per
 	}
-	sortByAxis(entries, axis)
+	sortByAxis(entries, axis, workers)
 	var out [][]Entry
 	for i := 0; i < n; i += slabSize {
 		end := i + slabSize
 		if end > n {
 			end = n
 		}
-		out = append(out, tileAxis(entries[i:end:end], per, dims, axis+1)...)
+		out = append(out, tileAxis(entries[i:end:end], per, dims, axis+1, workers)...)
 	}
 	return out
 }
 
-func sortByAxis(entries []Entry, axis int) {
-	sort.Slice(entries, func(i, j int) bool {
-		ci := entries[i].Rect.Min[axis] + entries[i].Rect.Max[axis]
-		cj := entries[j].Rect.Min[axis] + entries[j].Rect.Max[axis]
-		return ci < cj
+// sortByAxis orders entries by center position along axis. The sort is
+// stable (a departure from the earlier unstable sort), so equal-center
+// entries keep their input order and the whole build is deterministic: the
+// same entry slice always yields the same tree.
+func sortByAxis(entries []Entry, axis, workers int) {
+	parallelStableSort(entries, workers, func(a, b *Entry) bool {
+		return a.Rect.Min[axis]+a.Rect.Max[axis] < b.Rect.Min[axis]+b.Rect.Max[axis]
 	})
+}
+
+// parallelSortMin is the slice length below which a chunk stops being worth
+// a goroutine; it also floors the chunk size so tiny inputs sort inline.
+const parallelSortMin = 4096
+
+// parallelStableSort sorts es with a parallel stable merge sort: the slice
+// is cut into `workers` contiguous chunks, each chunk is stable-sorted
+// concurrently, and log₂(workers) rounds of pairwise stable merges (ties
+// take the left — earlier — chunk's element first) combine them. Because
+// stability is preserved end to end, the result is identical to
+// sort.SliceStable over the whole slice regardless of the worker count.
+func parallelStableSort(es []Entry, workers int, less func(a, b *Entry) bool) {
+	n := len(es)
+	if max := n / parallelSortMin; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		sort.SliceStable(es, func(i, j int) bool { return less(&es[i], &es[j]) })
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		part := es[lo:hi]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sort.SliceStable(part, func(i, j int) bool { return less(&part[i], &part[j]) })
+		}()
+	}
+	wg.Wait()
+	// Bottom-up pairwise merge rounds; the pairs of one round are disjoint
+	// ranges, so they merge concurrently too.
+	buf := make([]Entry, n)
+	src, dst := es, buf
+	for width := chunk; width < n; width *= 2 {
+		var mg sync.WaitGroup
+		for lo := 0; lo < n; lo += 2 * width {
+			mid, hi := lo+width, lo+2*width
+			if mid > n {
+				mid = n
+			}
+			if hi > n {
+				hi = n
+			}
+			mg.Add(1)
+			go func(lo, mid, hi int) {
+				defer mg.Done()
+				mergeStable(dst[lo:hi], src[lo:mid], src[mid:hi], less)
+			}(lo, mid, hi)
+		}
+		mg.Wait()
+		src, dst = dst, src
+	}
+	if &src[0] != &es[0] {
+		copy(es, src)
+	}
+}
+
+// mergeStable merges two sorted runs into dst, taking from a on ties so
+// stability (and with it worker-count invariance) is preserved.
+func mergeStable(dst, a, b []Entry, less func(x, y *Entry) bool) {
+	k := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if less(&b[j], &a[i]) {
+			dst[k] = b[j]
+			j++
+		} else {
+			dst[k] = a[i]
+			i++
+		}
+		k++
+	}
+	k += copy(dst[k:], a[i:])
+	copy(dst[k:], b[j:])
 }

@@ -131,6 +131,117 @@ func TestBulkLoadPacksTighter(t *testing.T) {
 	}
 }
 
+// Fewer entries than MinFill must still produce a valid (single-node) tree.
+func TestBulkLoadFewerThanMinFill(t *testing.T) {
+	cfg := Config{Dims: 2, Capacity: 10, MinFill: 4}
+	for n := 1; n < 4; n++ {
+		entries := make([]Entry, n)
+		for i := range entries {
+			entries[i] = Entry{Rect: pt(float64(i), float64(i)), Item: Item(i)}
+		}
+		tr, err := BulkLoad(cfg, entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != n || tr.Height() != 1 {
+			t.Fatalf("n=%d: len=%d height=%d", n, tr.Len(), tr.Height())
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// All-duplicate coordinates exercise the tie paths of the stable sort and
+// the min-fill tail merging; every item must remain findable.
+func TestBulkLoadDuplicateCoordinates(t *testing.T) {
+	for _, n := range []int{7, 64, 1000} {
+		entries := make([]Entry, n)
+		for i := range entries {
+			entries[i] = Entry{Rect: pt(5, 5), Item: Item(i)}
+		}
+		tr, err := BulkLoad(Config{Dims: 2, Capacity: 10}, entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got := rangeSearch(tr, geo.Rect{Min: geo.Vector{4, 4}, Max: geo.Vector{6, 6}})
+		if len(got) != n {
+			t.Fatalf("n=%d: found %d items", n, len(got))
+		}
+	}
+}
+
+// The parallel stable merge sort must equal sort.SliceStable for any worker
+// count, including on heavy tie loads.
+func TestParallelStableSortMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for _, n := range []int{0, 1, 100, parallelSortMin, 3 * parallelSortMin, 50000} {
+		base := make([]Entry, n)
+		for i := range base {
+			// Coarse buckets force many ties so stability is observable.
+			x := float64(r.Intn(20))
+			base[i] = Entry{Rect: pt(x, x), Item: Item(i)}
+		}
+		want := append([]Entry(nil), base...)
+		sort.SliceStable(want, func(i, j int) bool {
+			return want[i].Rect.Min[0]+want[i].Rect.Max[0] < want[j].Rect.Min[0]+want[j].Rect.Max[0]
+		})
+		for _, workers := range []int{1, 2, 3, 4, 16} {
+			got := append([]Entry(nil), base...)
+			sortByAxis(got, 0, workers)
+			for i := range got {
+				if got[i].Item != want[i].Item {
+					t.Fatalf("n=%d workers=%d: order diverges at %d", n, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// Worker-count invariance: 1/4/16 workers build identical trees (compared
+// via the canonical frozen form).
+func TestBulkLoadWorkerInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	entries := make([]Entry, 20000)
+	for i := range entries {
+		// Duplicate-heavy coordinates make any instability visible.
+		x, y := float64(r.Intn(50)), float64(r.Intn(50))
+		entries[i] = Entry{Rect: pt(x, y), Item: Item(i)}
+	}
+	var want *FlatTree
+	for _, workers := range []int{1, 4, 16} {
+		tr, err := BulkLoadWorkers(Config{Dims: 2, Capacity: 20}, append([]Entry(nil), entries...), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		f := tr.Freeze()
+		if want == nil {
+			want = f
+			continue
+		}
+		if len(f.Nodes) != len(want.Nodes) || len(f.Items) != len(want.Items) {
+			t.Fatalf("workers=%d: shape differs (%d/%d nodes, %d/%d entries)",
+				workers, len(f.Nodes), len(want.Nodes), len(f.Items), len(want.Items))
+		}
+		for i := range f.Nodes {
+			if f.Nodes[i] != want.Nodes[i] {
+				t.Fatalf("workers=%d: node %d differs", workers, i)
+			}
+		}
+		for i := range f.Items {
+			if f.Items[i] != want.Items[i] || f.Rects[i] != want.Rects[i] || f.Children[i] != want.Children[i] {
+				t.Fatalf("workers=%d: entry %d differs", workers, i)
+			}
+		}
+	}
+}
+
 func BenchmarkBulkLoad(b *testing.B) {
 	r := rand.New(rand.NewSource(1))
 	entries := make([]Entry, 50000)

@@ -43,6 +43,12 @@ type Node struct {
 	Level   int // 0 for leaf nodes
 	Parent  *Node
 	Entries []Entry
+	// slot caches this node's entry index in Parent.Entries, maintained at
+	// every entry move so the parent-path adjustments (extend/refresh on
+	// every insert) resolve the child's entry in O(1) instead of scanning.
+	// Meaningless on the root. The frozen flat layout (FlatTree) carries
+	// neither Parent pointers nor slots — offsets replace both.
+	slot int
 }
 
 // MBR returns the bounding rectangle of all entries in n.
@@ -54,14 +60,31 @@ func (n *Node) MBR(dims int) geo.Rect {
 	return r
 }
 
-// entryIndexOf returns the position of the entry pointing at child.
+// entryIndexOf returns the position of the entry pointing at child. The
+// cached slot answers in O(1); the scan remains as a defensive fallback
+// (Check reports any site that let the cache go stale).
 func (n *Node) entryIndexOf(child *Node) int {
+	if s := child.slot; s >= 0 && s < len(n.Entries) && n.Entries[s].Child == child {
+		return s
+	}
 	for i := range n.Entries {
 		if n.Entries[i].Child == child {
+			child.slot = i
 			return i
 		}
 	}
 	return -1
+}
+
+// syncSlots re-caches the slot of every child after entry removals or
+// reorderings shifted the remaining entries: one scan per adjust pass
+// instead of one scan per upward step.
+func (n *Node) syncSlots() {
+	for i := range n.Entries {
+		if c := n.Entries[i].Child; c != nil {
+			c.slot = i
+		}
+	}
 }
 
 // Strategy decides how entries are grouped into nodes. The paper's Section
@@ -206,6 +229,7 @@ func (t *Tree) insertAtLevel(e Entry, level int, reinserted map[int]bool) error 
 	n.Entries = append(n.Entries, e)
 	if e.Child != nil {
 		e.Child.Parent = n
+		e.Child.slot = len(n.Entries) - 1
 	}
 	if err := t.extendUpward(n, e); err != nil {
 		return err
@@ -288,6 +312,7 @@ func (t *Tree) reinsertEntries(n *Node, idxs []int, reinserted map[int]bool) err
 		removed = append(removed, n.Entries[i])
 		n.Entries = append(n.Entries[:i], n.Entries[i+1:]...)
 	}
+	n.syncSlots()
 	if err := t.refreshUpward(n); err != nil {
 		return err
 	}
@@ -319,11 +344,13 @@ func (t *Tree) splitNode(n *Node, reinserted map[int]bool) (*Node, error) {
 	for i := range nn.Entries {
 		if c := nn.Entries[i].Child; c != nil {
 			c.Parent = nn
+			c.slot = i
 		}
 	}
 	for i := range n.Entries {
 		if c := n.Entries[i].Child; c != nil {
 			c.Parent = n
+			c.slot = i
 		}
 	}
 
@@ -333,6 +360,7 @@ func (t *Tree) splitNode(n *Node, reinserted map[int]bool) (*Node, error) {
 		t.root = root
 		t.height++
 		n.Parent, nn.Parent = root, root
+		n.slot, nn.slot = 0, 1
 		e1 := Entry{Rect: n.MBR(t.cfg.Dims), Child: n}
 		e2 := Entry{Rect: nn.MBR(t.cfg.Dims), Child: nn}
 		if t.aug != nil {
@@ -353,6 +381,7 @@ func (t *Tree) splitNode(n *Node, reinserted map[int]bool) (*Node, error) {
 	p.Entries[i].Rect = n.MBR(t.cfg.Dims)
 	ne := Entry{Rect: nn.MBR(t.cfg.Dims), Child: nn}
 	nn.Parent = p
+	nn.slot = len(p.Entries)
 	if t.aug != nil {
 		var err error
 		if p.Entries[i].Data, err = t.aug.Make(n, p.Entries[i].Data); err != nil {
@@ -425,6 +454,7 @@ func (t *Tree) condense(n *Node) error {
 				}
 			}
 			p.Entries = append(p.Entries[:i], p.Entries[i+1:]...)
+			p.syncSlots()
 			orphans = append(orphans, orphan{level: n.Level, entries: n.Entries})
 		} else {
 			// refreshUpward fixes this node's entry and all ancestors.
@@ -532,7 +562,7 @@ func (t *Tree) Check() error {
 		if len(n.Entries) > t.cfg.Capacity {
 			return fmt.Errorf("rstar: node overfull (%d > %d)", len(n.Entries), t.cfg.Capacity)
 		}
-		for _, e := range n.Entries {
+		for i, e := range n.Entries {
 			if n.Level == 0 {
 				if e.Child != nil {
 					return fmt.Errorf("rstar: child pointer in leaf node")
@@ -545,6 +575,9 @@ func (t *Tree) Check() error {
 			}
 			if e.Child.Parent != n {
 				return fmt.Errorf("rstar: broken parent pointer at level %d", n.Level)
+			}
+			if e.Child.slot != i {
+				return fmt.Errorf("rstar: stale slot cache at level %d (cached %d, actual %d)", n.Level, e.Child.slot, i)
 			}
 			if e.Child.Level != n.Level-1 {
 				return fmt.Errorf("rstar: child level %d under level %d", e.Child.Level, n.Level)

@@ -365,3 +365,65 @@ func TestFactoryAttachSink(t *testing.T) {
 		t.Errorf("attached sink saw no traffic: %+v", got)
 	}
 }
+
+// TestBTreeFactoryNewBulk: the bulk-built disk TIA must answer exactly like
+// one fed the same records through Put.
+func TestBTreeFactoryNewBulk(t *testing.T) {
+	f := NewBTreeFactory(256, 10)
+	recs := make([]Record, 300)
+	ts := int64(-1000)
+	for i := range recs {
+		ts += int64(1 + i%7)
+		recs[i] = Record{Ts: ts, Te: ts + 5, Agg: int64(i % 13)}
+	}
+	bulk, err := f.NewBulk(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put, err := f.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := put.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bulk.Len() != put.Len() {
+		t.Fatalf("len %d != %d", bulk.Len(), put.Len())
+	}
+	for _, sem := range []Semantics{Contained, Intersecting} {
+		for _, iv := range []Interval{{-1000, 2000}, {0, 100}, {recs[10].Ts, recs[200].Te}} {
+			a, err := bulk.Aggregate(iv, sem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := put.Aggregate(iv, sem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("sem %v iv %v: %d != %d", sem, iv, a, b)
+			}
+		}
+	}
+	// Mutable after bulk build (internal entries overwrite epochs).
+	if err := bulk.Put(Record{Ts: recs[0].Ts, Te: recs[0].Te, Agg: 99}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := bulk.Aggregate(Interval{recs[0].Ts, recs[0].Te}, Contained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 99 {
+		t.Fatalf("overwrite lost: %d", v)
+	}
+	// Empty bulk build works.
+	empty, err := f.NewBulk(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Fatalf("empty len %d", empty.Len())
+	}
+}

@@ -56,6 +56,11 @@ type StoreOptions struct {
 	// queries — the only writers of cache entries — run under the read
 	// lock, mutations and their invalidation under the write lock.
 	Cache *aggcache.Cache
+	// SnapshotV3 makes Checkpoint write the flat snapshot-v3 format (exact
+	// frozen layout + packed TIAs) instead of the legacy gob image, so the
+	// next startup loads by section reads with no rebuild. Recovery reads
+	// either format regardless — the loader dispatches on the magic bytes.
+	SnapshotV3 bool
 }
 
 // RecoveryStats reports what OpenStore did to reach a serving state.
@@ -323,6 +328,34 @@ func (s *Store) View(f func(t *core.Tree)) {
 	f(s.tree)
 }
 
+// Freeze compiles and installs the tree's frozen flat layout under the
+// write lock; subsequent queries traverse offsets instead of pointers. The
+// WAL ingest path never mutates tree structure (check-ins only change TIA
+// contents, which the frozen entries share), so the layout stays valid
+// until an explicit rebuild. A tree recovered from a v3 checkpoint arrives
+// already frozen.
+func (s *Store) Freeze() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tree.Freeze()
+}
+
+// Frozen reports whether the tree currently has a frozen flat layout.
+func (s *Store) Frozen() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Frozen()
+}
+
+// Unfreeze drops the frozen layout; subsequent queries run the pointer
+// path. Used when serving is configured frozen-off but recovery restored a
+// v3 checkpoint, which arrives pre-frozen.
+func (s *Store) Unfreeze() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tree.Unfreeze()
+}
+
 // FlushEpochs folds every buffered epoch ending at or before now into the
 // tree's TIAs.
 func (s *Store) FlushEpochs(now int64) error {
@@ -369,7 +402,14 @@ func (s *Store) Checkpoint() (uint64, error) {
 	defer ck.Finish()
 	enc := ck.StartChild("encode")
 	var buf bytes.Buffer
-	err := s.tree.SaveSnapshot(&buf)
+	var err error
+	if s.opts.SnapshotV3 {
+		// Read-only even without an installed frozen layout (it compiles a
+		// temporary one), so the read lock suffices.
+		err = s.tree.SaveSnapshotV3(&buf)
+	} else {
+		err = s.tree.SaveSnapshot(&buf)
+	}
 	s.mu.RUnlock()
 	enc.End()
 	if err != nil {
