@@ -3,13 +3,23 @@
 // POIs with their score components and the work counters. It demonstrates
 // the whole public API: data generation, index construction, querying and
 // the minimum weight adjustment.
+//
+// With -server it instead queries a running tarserve over HTTP; adding
+// -min-lsn holds the query until that server has applied the given LSN,
+// which is how a client reads its own writes from a replication follower.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"tartree"
@@ -39,8 +49,18 @@ func main() {
 		replay   = flag.String("replay", "", "build an empty index and feed this check-in stream (written by datagen -checkins) through the live ingest path instead of bulk-loading histories")
 		cacheB   = flag.Int64("cache-bytes", 64<<20, "shared aggregate/result cache size in bytes (0 disables)")
 		doFreeze = flag.Bool("freeze", true, "compile the index into its pointer-free flat layout before querying")
+		server   = flag.String("server", "", "query a running tarserve at this base URL instead of building a local index")
+		minLSN   = flag.Uint64("min-lsn", 0, "with -server: hold the query until the server has applied this LSN (read-your-writes against a replication follower)")
 	)
 	flag.Parse()
+
+	if *minLSN > 0 && *server == "" {
+		fatal(fmt.Errorf("-min-lsn requires -server"))
+	}
+	if *server != "" {
+		remoteQuery(*server, *x, *y, *k, *alpha, *days, *minLSN)
+		return
+	}
 
 	spec, err := lbsn.SpecByName(*name)
 	if err != nil {
@@ -202,6 +222,86 @@ func main() {
 			fmt.Println("  no adjustment changes the result set")
 		}
 	}
+}
+
+// remoteResponse mirrors the fields of tarserve's /v1/query answer that
+// the CLI renders.
+type remoteResponse struct {
+	Query struct {
+		Start int64 `json:"start"`
+		End   int64 `json:"end"`
+	} `json:"query"`
+	Results []struct {
+		POI   int64   `json:"poi"`
+		X     float64 `json:"x"`
+		Y     float64 `json:"y"`
+		Score float64 `json:"score"`
+		S0    float64 `json:"s0"`
+		S1    float64 `json:"s1"`
+		Agg   int64   `json:"agg"`
+	} `json:"results"`
+	Stats struct {
+		InternalAccesses int   `json:"internal_accesses"`
+		LeafAccesses     int   `json:"leaf_accesses"`
+		TIAAccesses      int64 `json:"tia_accesses"`
+		ResultCacheHit   bool  `json:"result_cache_hit"`
+	} `json:"stats"`
+	ElapsedMicros int64 `json:"elapsed_us"`
+}
+
+// remoteQuery answers the query over HTTP against a running tarserve
+// instead of building a local index. With minLSN > 0 the server holds the
+// query until its applied LSN reaches that watermark, which gives
+// read-your-writes semantics against a replication follower: ingest on
+// the leader, note the acknowledged LSN, query the follower with it.
+func remoteQuery(server string, x, y float64, k int, alpha float64, days int64, minLSN uint64) {
+	v := url.Values{}
+	v.Set("x", strconv.FormatFloat(x, 'g', -1, 64))
+	v.Set("y", strconv.FormatFloat(y, 'g', -1, 64))
+	v.Set("k", strconv.Itoa(k))
+	v.Set("alpha", strconv.FormatFloat(alpha, 'g', -1, 64))
+	v.Set("days", strconv.FormatInt(days, 10))
+	if minLSN > 0 {
+		v.Set("min_lsn", strconv.FormatUint(minLSN, 10))
+	}
+	u := strings.TrimRight(server, "/") + "/v1/query?" + v.Encode()
+	start := time.Now()
+	resp, err := http.Get(u)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		msg := strings.TrimSpace(string(body))
+		if resp.StatusCode == http.StatusGatewayTimeout && minLSN > 0 {
+			fatal(fmt.Errorf("server has not applied LSN %d within its deadline: %s", minLSN, msg))
+		}
+		fatal(fmt.Errorf("query: %s: %s", resp.Status, msg))
+	}
+	var qr remoteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		fatal(fmt.Errorf("decoding query response: %w", err))
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("kNNTA query at (%.1f, %.1f), last %d days, k=%d, alpha0=%.2f via %s\n",
+		x, y, days, k, alpha, server)
+	if minLSN > 0 {
+		fmt.Printf("answered at or after applied LSN %d\n", minLSN)
+	}
+	fmt.Printf("\n%4s  %6s  %8s  %8s  %8s  %8s  %6s\n", "rank", "poi", "score", "s0", "s1", "x/y", "agg")
+	for i, r := range qr.Results {
+		fmt.Printf("%4d  %6d  %8.4f  %8.4f  %8.4f  %4.1f/%-4.1f %6d\n",
+			i+1, r.POI, r.Score, r.S0, r.S1, r.X, r.Y, r.Agg)
+	}
+	cached := ""
+	if qr.Stats.ResultCacheHit {
+		cached = " (whole result from the server's cache)"
+	}
+	fmt.Printf("\n%d node accesses (%d internal, %d leaf), %d TIA page reads, server %v, round trip %v%s\n",
+		qr.Stats.InternalAccesses+qr.Stats.LeafAccesses, qr.Stats.InternalAccesses, qr.Stats.LeafAccesses,
+		qr.Stats.TIAAccesses, time.Duration(qr.ElapsedMicros)*time.Microsecond, elapsed.Round(time.Microsecond), cached)
 }
 
 // printIOBreakdown renders the attributed page traffic of one query as a

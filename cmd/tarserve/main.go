@@ -37,22 +37,53 @@
 // Queries execute concurrently, bounded by the -max-concurrent admission
 // semaphore (default GOMAXPROCS); requests beyond the limit queue and are
 // visible in the tarserve_query_queue_depth gauge.
+//
+// # Replication
+//
+// With -repl-token a durable server becomes a replication leader: it
+// exposes GET /v1/repl/snapshot (tree snapshot at the applied LSN) and
+// GET /v1/repl/wal?from=<lsn> (CRC32C frame stream with long-poll tail),
+// both requiring the token as an Authorization bearer. A follower runs
+// with -follow <leader-url> -repl-token <secret> -wal-dir <dir>: it
+// bootstraps from the leader's snapshot, tails the WAL through the same
+// apply path local ingest uses (keeping its own durable WAL copy, so a
+// restart recovers locally and resumes), answers queries, and rejects
+// POST /v1/ingest with 403 plus a Location header naming the leader.
+// Read-your-writes across the pair: echo the leader's ingest ack LSN as
+// /v1/query?min_lsn=<lsn> on the follower — the query waits until that
+// LSN is applied (504 past the deadline). /healthz reports the role and
+// replication lag on both sides; the follower additionally exports
+// tartree_repl_{applied_lsn,lag_records,lag_seconds}.
+//
+// On SIGINT/SIGTERM the server drains in-flight requests, stops the
+// replication tail and background loops, flushes observed epochs and
+// closes the WAL cleanly before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"tartree/internal/aggcache"
 	"tartree/internal/core"
 	"tartree/internal/lbsn"
 	"tartree/internal/obs"
+	"tartree/internal/repl"
 	"tartree/internal/wal"
 )
+
+// drainTimeout bounds how long shutdown waits for in-flight requests.
+const drainTimeout = 10 * time.Second
 
 func main() {
 	var (
@@ -74,8 +105,25 @@ func main() {
 		sloSpec = flag.String("slo", "", `latency/error objectives, e.g. "query:p99<50ms,ingest:p99<100ms" (burn rates on /metrics)`)
 		snapV3  = flag.Bool("snapshot-v3", true, "write checkpoints in the flat snapshot-v3 format (section reads at startup, no rebuild); recovery reads either format")
 		freeze  = flag.Bool("freeze", true, "compile the index into its pointer-free flat layout after startup; queries traverse the frozen slabs")
+		follow  = flag.String("follow", "", "run as a replication follower of this leader base URL (requires -wal-dir and -repl-token)")
+		replTok = flag.String("repl-token", "", "shared replication secret: enables the leader's /v1/repl endpoints, authenticates a follower; empty disables replication")
 	)
 	flag.Parse()
+	if *follow != "" {
+		switch {
+		case *walDir == "":
+			fatal(errors.New("-follow requires -wal-dir for the follower's own WAL copy"))
+		case *replTok == "":
+			fatal(errors.New("-follow requires -repl-token"))
+		case *replay != "":
+			fatal(errors.New("-replay cannot be combined with -follow: a follower's history comes from the leader"))
+		}
+	}
+
+	// Shutdown: first signal starts the drain, a second one kills the
+	// process the default way (stop() reinstalls default handling).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var h slog.Handler = slog.NewTextHandler(os.Stderr, nil)
 	if *logJSON {
@@ -100,10 +148,15 @@ func main() {
 		fatal(err)
 	}
 	spec = spec.Scaled(*scale)
-	log.Info("generating data set", "dataset", spec.Name, "scale", *scale)
-	d, err := lbsn.Generate(spec)
-	if err != nil {
-		fatal(err)
+	// A follower never builds a local base: its tree comes from the
+	// leader's snapshot, so only the spec (the default query interval) is
+	// needed and the expensive generation is skipped.
+	var d *lbsn.Dataset
+	if *follow == "" {
+		log.Info("generating data set", "dataset", spec.Name, "scale", *scale)
+		if d, err = lbsn.Generate(spec); err != nil {
+			fatal(err)
+		}
 	}
 
 	reg := obs.NewRegistry()
@@ -133,12 +186,35 @@ func main() {
 		srv.spanSink = obs.MultiTraceSink(srv.spans, obs.NewFileTraceSink(f))
 		log.Info("span traces exported", "file", *trcOut)
 	}
-	log.Info("listening", "addr", *addr, "max_concurrent", cap(srv.admission))
-	go func() {
-		if err := http.ListenAndServe(*addr, srv); err != nil {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	log.Info("listening", "addr", ln.Addr().String(), "max_concurrent", cap(srv.admission))
+	httpServer := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpServer.Serve(ln) }()
+
+	// waitAndDrain blocks until a shutdown signal (or listener failure),
+	// drains in-flight requests, then runs cleanup — flushing and closing
+	// whatever durable state the mode holds.
+	waitAndDrain := func(cleanup func()) {
+		select {
+		case <-ctx.Done():
+			log.Info("shutdown signal received, draining", "timeout", drainTimeout)
+		case err := <-serveErr:
 			fatal(err)
 		}
-	}()
+		drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := httpServer.Shutdown(drainCtx); err != nil {
+			log.Warn("drain incomplete", "err", err)
+		}
+		if cleanup != nil {
+			cleanup()
+		}
+		log.Info("shutdown complete")
+	}
 
 	buildStart := time.Now()
 	if *walDir == "" {
@@ -151,18 +227,51 @@ func main() {
 		}
 		logIndex(log, tr, buildStart)
 		srv.finishStartup(tr, nil, d.Spec.Start, d.Spec.End)
-		select {}
+		waitAndDrain(nil)
+		return
 	}
 
 	// Durable mode: recover from the newest checkpoint plus a WAL replay.
 	// The base tree — used only when the directory holds no checkpoint —
 	// bulk-loads the historical data set, or starts empty when a -replay
-	// stream will provide the history through the ingest path.
+	// stream will provide the history through the ingest path. A follower
+	// never builds one: Bootstrap below installs the leader's snapshot as
+	// the local checkpoint before the store opens.
 	fs, err := wal.NewDirFS(*walDir)
 	if err != nil {
 		fatal(err)
 	}
+	var (
+		wm    *repl.Watermark
+		rm    *repl.Metrics
+		fopts repl.FollowerOptions
+	)
+	if *follow != "" {
+		wm = repl.NewWatermark()
+		rm = repl.NewMetrics(reg)
+		fopts = repl.FollowerOptions{
+			LeaderURL: strings.TrimRight(*follow, "/"),
+			Token:     *replTok,
+			Watermark: wm,
+			Metrics:   rm,
+			Logf: func(format string, args ...any) {
+				log.Warn(fmt.Sprintf(format, args...))
+			},
+		}
+		lsn, downloaded, err := repl.Bootstrap(ctx, fs, fopts)
+		if err != nil {
+			fatal(fmt.Errorf("bootstrapping from %s: %w", fopts.LeaderURL, err))
+		}
+		if downloaded {
+			log.Info("bootstrapped from leader snapshot", "leader", fopts.LeaderURL, "lsn", lsn)
+		} else {
+			log.Info("local WAL state found, skipping snapshot bootstrap", "dir", *walDir)
+		}
+	}
 	base := func() (*core.Tree, error) {
+		if *follow != "" {
+			return nil, errors.New("follower WAL directory holds no snapshot; bootstrap should have installed one")
+		}
 		if *replay != "" {
 			return d.BuildEmpty(lbsn.BuildOptions{Grouping: g, Metrics: reg, Traces: ring, Cache: cache})
 		}
@@ -205,31 +314,93 @@ func main() {
 	} else if !*freeze && store.Frozen() {
 		store.Unfreeze()
 	}
+	switch {
+	case *follow != "":
+		srv.setFollower(fopts.LeaderURL, wm, rm)
+		rm.ObserveApplied(store.AppliedLSN(), store.AppliedLSN())
+	case *replTok != "":
+		srv.enableReplLeader(&repl.Leader{Store: store, Token: *replTok, Metrics: repl.NewMetrics(reg)})
+		log.Info("replication leader enabled", "endpoints", "/v1/repl/snapshot /v1/repl/wal")
+	}
 	logIndex(log, store.Tree(), buildStart)
-	srv.finishStartup(store.Tree(), store, d.Spec.Start, d.Spec.End)
+	srv.finishStartup(store.Tree(), store, spec.Start, spec.End)
 
 	if *flEvery > 0 {
 		go func() {
-			for range time.Tick(*flEvery) {
-				if err := store.FlushObserved(); err != nil {
-					log.Error("epoch flush failed", "err", err)
+			tick := time.NewTicker(*flEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if err := store.FlushObserved(); err != nil && !errors.Is(err, wal.ErrClosed) {
+						log.Error("epoch flush failed", "err", err)
+					}
 				}
 			}
 		}()
 	}
 	if *ckEvery > 0 {
 		go func() {
-			for range time.Tick(*ckEvery) {
-				lsn, err := store.Checkpoint()
-				if err != nil {
-					log.Error("checkpoint failed", "err", err)
-					continue
+			tick := time.NewTicker(*ckEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					lsn, err := store.Checkpoint()
+					if err != nil {
+						if !errors.Is(err, wal.ErrClosed) {
+							log.Error("checkpoint failed", "err", err)
+						}
+						continue
+					}
+					log.Info("checkpoint written", "lsn", lsn)
 				}
-				log.Info("checkpoint written", "lsn", lsn)
 			}
 		}()
 	}
-	select {}
+
+	// The follower's tail loop runs until shutdown or a fatal replication
+	// error (leader truncated our LSN, bad token, divergence) — the latter
+	// triggers the same drain path as a signal and exits nonzero rather
+	// than serving ever-staler data silently.
+	var (
+		replDone  chan error
+		replFatal bool
+	)
+	if *follow != "" {
+		replDone = make(chan error, 1)
+		go func() {
+			err := (&repl.Follower{Store: store, Opts: fopts}).Run(ctx)
+			replDone <- err
+			if err != nil && ctx.Err() == nil {
+				log.Error("replication tail failed, shutting down", "err", err)
+				stop()
+			}
+		}()
+	}
+
+	waitAndDrain(func() {
+		if replDone != nil {
+			// The canceled context already stopped the tail; wait for the
+			// last apply to finish before closing the store under it.
+			if err := <-replDone; err != nil && !errors.Is(err, context.Canceled) {
+				replFatal = true
+			}
+		}
+		if err := store.FlushObserved(); err != nil {
+			log.Error("final epoch flush failed", "err", err)
+		}
+		if err := store.Close(); err != nil {
+			log.Error("closing store", "err", err)
+		}
+	})
+	if replFatal {
+		os.Exit(1)
+	}
 }
 
 // seedFromStream feeds a datagen -checkins stream through the durable ingest

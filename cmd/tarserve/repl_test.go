@@ -1,0 +1,341 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tartree/internal/core"
+	"tartree/internal/lbsn"
+	"tartree/internal/obs"
+	"tartree/internal/repl"
+	"tartree/internal/wal"
+)
+
+const replTestToken = "tarserve-repl-secret"
+
+// startReplLeader builds a ready leader server (WAL store + replication
+// endpoints enabled) and exposes it over real HTTP for the follower's
+// bootstrap and tail requests.
+func startReplLeader(t *testing.T) (*server, *lbsn.Dataset, *wal.Store, *httptest.Server) {
+	t.Helper()
+	spec, err := lbsn.SpecByName("GS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := lbsn.Generate(spec.Scaled(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	fs, err := wal.NewDirFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := wal.OpenStore(fs, func() (*core.Tree, error) {
+		return d.Build(lbsn.BuildOptions{Metrics: reg})
+	}, wal.StoreOptions{Metrics: reg, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	s := newPendingServer(reg, nil, log, 4)
+	s.enableReplLeader(&repl.Leader{Store: store, Token: replTestToken, Metrics: repl.NewMetrics(reg)})
+	s.finishStartup(store.Tree(), store, d.Spec.Start, d.Spec.End)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	return s, d, store, srv
+}
+
+// startReplFollower bootstraps a follower directory from the leader,
+// recovers a store over it (the base builder must never run — the
+// installed snapshot is the only source of state), wires the follower
+// server role, and starts the tail loop. The returned stop function
+// cancels the tail and asserts it exited cleanly.
+func startReplFollower(t *testing.T, leaderURL string, d *lbsn.Dataset) (*server, *wal.Store, func()) {
+	t.Helper()
+	ffs, err := wal.NewDirFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	freg := obs.NewRegistry()
+	wm := repl.NewWatermark()
+	rm := repl.NewMetrics(freg)
+	fopts := repl.FollowerOptions{
+		LeaderURL: leaderURL,
+		Token:     replTestToken,
+		Metrics:   rm,
+		Watermark: wm,
+		RetryMin:  time.Millisecond,
+		RetryMax:  20 * time.Millisecond,
+		Logf:      t.Logf,
+	}
+	lsn, downloaded, err := repl.Bootstrap(context.Background(), ffs, fopts)
+	if err != nil || !downloaded || lsn == 0 {
+		t.Fatalf("bootstrap: lsn=%d downloaded=%v err=%v", lsn, downloaded, err)
+	}
+	fstore, err := wal.OpenStore(ffs, func() (*core.Tree, error) {
+		return nil, fmt.Errorf("follower base builder must not run")
+	}, wal.StoreOptions{Metrics: freg, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fstore.Close() })
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	fsrv := newPendingServer(freg, nil, log, 4)
+	fsrv.setFollower(leaderURL, wm, rm)
+	fsrv.finishStartup(fstore.Tree(), fstore, d.Spec.Start, d.Spec.End)
+	rm.ObserveApplied(fstore.AppliedLSN(), fstore.AppliedLSN())
+
+	runCtx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	f := &repl.Follower{Store: fstore, Opts: fopts}
+	go func() { done <- f.Run(runCtx) }()
+	stop := func() {
+		cancel()
+		if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+			t.Errorf("follower run: %v", err)
+		}
+	}
+	return fsrv, fstore, stop
+}
+
+// TestServeFollowerEndToEnd drives the full leader/follower story at the
+// server level: bootstrap from the leader's snapshot, tail a live ingest,
+// read-your-writes on the follower via min_lsn, the follower's read-only
+// ingest rejection with a leader redirect, role-aware healthz on both
+// sides, and the min_lsn deadline (504) for a watermark that never comes.
+func TestServeFollowerEndToEnd(t *testing.T) {
+	ls, d, _, lhttp := startReplLeader(t)
+	poi := indexedPOI(t, ls, d)
+	ts := d.Spec.End + 100
+
+	// Seed one record before bootstrap so the snapshot carries LSN 1.
+	if code, body := post(t, ls, "/v1/ingest", fmt.Sprintf(`{"poi":%d,"ts":%d}`, poi, ts)); code != 200 {
+		t.Fatalf("leader ingest: %d %s", code, body)
+	}
+	fs, fstore, stop := startReplFollower(t, lhttp.URL, d)
+	defer stop()
+
+	// A live write on the leader, then read-your-writes on the follower:
+	// min_lsn parks the query until the tail applies the acknowledged LSN.
+	code, body := post(t, ls, "/v1/ingest", fmt.Sprintf(`{"poi":%d,"ts":%d}`, poi, ts+1))
+	if code != 200 {
+		t.Fatalf("leader ingest: %d %s", code, body)
+	}
+	var ack struct {
+		LSN uint64 `json:"lsn"`
+	}
+	if err := json.Unmarshal([]byte(body), &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.LSN != 2 {
+		t.Fatalf("leader ack LSN = %d, want 2", ack.LSN)
+	}
+
+	queryURL := "/v1/query?x=50&y=50&k=5&days=128"
+	code, fbody := get(t, fs, fmt.Sprintf("%s&min_lsn=%d", queryURL, ack.LSN))
+	if code != 200 {
+		t.Fatalf("follower min_lsn query: %d %s", code, fbody)
+	}
+	if got := fstore.AppliedLSN(); got < ack.LSN {
+		t.Fatalf("min_lsn query answered at applied LSN %d < %d", got, ack.LSN)
+	}
+	// The follower's answer must match the leader's for the same query.
+	code, lbody := get(t, ls, queryURL)
+	if code != 200 {
+		t.Fatalf("leader query: %d %s", code, lbody)
+	}
+	var fresp, lresp queryResponse
+	if err := json.Unmarshal([]byte(fbody), &fresp); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lbody), &lresp); err != nil {
+		t.Fatal(err)
+	}
+	if len(fresp.Results) != len(lresp.Results) || len(fresp.Results) == 0 {
+		t.Fatalf("result count: follower %d, leader %d", len(fresp.Results), len(lresp.Results))
+	}
+	for i := range fresp.Results {
+		if fresp.Results[i].POI != lresp.Results[i].POI {
+			t.Errorf("result %d: follower POI %d, leader POI %d", i, fresp.Results[i].POI, lresp.Results[i].POI)
+		}
+		if math.Abs(fresp.Results[i].Score-lresp.Results[i].Score) > 1e-9 {
+			t.Errorf("result %d: follower score %g, leader score %g", i, fresp.Results[i].Score, lresp.Results[i].Score)
+		}
+	}
+
+	// The follower is read-only: local ingest is rejected with the leader's
+	// ingest endpoint in Location.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/ingest", strings.NewReader(fmt.Sprintf(`{"poi":%d,"ts":%d}`, poi, ts+2)))
+	req.Header.Set("Content-Type", "application/json")
+	fs.ServeHTTP(rec, req)
+	if rec.Code != http.StatusForbidden {
+		t.Errorf("follower ingest: %d, want 403 (%s)", rec.Code, rec.Body.String())
+	}
+	if loc := rec.Header().Get("Location"); loc != lhttp.URL+"/v1/ingest" {
+		t.Errorf("follower ingest Location = %q, want %q", loc, lhttp.URL+"/v1/ingest")
+	}
+
+	// Role-aware healthz on both sides.
+	var hz struct {
+		Role string         `json:"role"`
+		Repl map[string]any `json:"repl"`
+	}
+	code, body = get(t, fs, "/healthz")
+	if code != 200 {
+		t.Fatalf("follower healthz: %d %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Role != "follower" {
+		t.Errorf("follower role = %q", hz.Role)
+	}
+	if got, _ := hz.Repl["leader"].(string); got != lhttp.URL {
+		t.Errorf("follower healthz leader = %v, want %q", hz.Repl["leader"], lhttp.URL)
+	}
+	if got, _ := hz.Repl["applied_lsn"].(float64); got < float64(ack.LSN) {
+		t.Errorf("follower healthz applied_lsn = %v, want >= %d", hz.Repl["applied_lsn"], ack.LSN)
+	}
+	code, body = get(t, ls, "/healthz")
+	if code != 200 {
+		t.Fatalf("leader healthz: %d %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Role != "leader" {
+		t.Errorf("leader role = %q", hz.Role)
+	}
+	if got, _ := hz.Repl["snapshots_served"].(float64); got != 1 {
+		t.Errorf("leader healthz snapshots_served = %v, want 1", hz.Repl["snapshots_served"])
+	}
+
+	// Replication gauges are exported on the follower's /metrics.
+	_, metrics := get(t, fs, "/metrics")
+	if n := metricValue(t, metrics, "tartree_repl_applied_lsn"); n < float64(ack.LSN) {
+		t.Errorf("tartree_repl_applied_lsn = %g, want >= %d", n, ack.LSN)
+	}
+
+	// A watermark that can never be reached times out with 504, bounded by
+	// the query deadline rather than hanging.
+	code, body = get(t, fs, queryURL+"&min_lsn=999999&timeout_ms=50")
+	if code != http.StatusGatewayTimeout {
+		t.Errorf("unreachable min_lsn: %d, want 504 (%s)", code, body)
+	}
+}
+
+// TestServeMinLSNWithoutWAL: min_lsn on a server with no WAL store (no
+// watermark to wait on) is a client error, not a hang.
+func TestServeMinLSNWithoutWAL(t *testing.T) {
+	s, _ := newTestServer(t)
+	code, body := get(t, s, "/v1/query?x=50&y=50&k=5&days=128&min_lsn=1")
+	if code != http.StatusBadRequest {
+		t.Errorf("min_lsn without WAL: %d, want 400 (%s)", code, body)
+	}
+}
+
+// TestServeReplEndpointsDisabled: the /v1/repl routes exist on every
+// server but answer 403 until a leader is configured with -repl-token.
+func TestServeReplEndpointsDisabled(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := newWALTestServer(t, dir, nil)
+	for _, path := range []string{"/v1/repl/snapshot", "/v1/repl/wal?from=1"} {
+		if code, body := get(t, s, path); code != http.StatusForbidden {
+			t.Errorf("%s on non-leader: %d, want 403 (%s)", path, code, body)
+		}
+	}
+}
+
+// TestServeShutdownDrainsInflightIngest pins the graceful-shutdown
+// contract: an ingest whose group commit is mid-fsync when Shutdown begins
+// must complete with 200 (and really be durable), Shutdown must return
+// only after it does, and the listener must refuse new connections
+// afterwards. The slow FS guarantees the request is genuinely in flight
+// for the whole drain; the entered channel (closed at handler entry)
+// orders Shutdown after admission without sleeping.
+func TestServeShutdownDrainsInflightIngest(t *testing.T) {
+	spec, err := lbsn.SpecByName("GS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := lbsn.Generate(spec.Scaled(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	dirFS, err := wal.NewDirFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := &wal.SlowFS{FS: dirFS, SyncDelay: 100 * time.Millisecond}
+	store, err := wal.OpenStore(slow, func() (*core.Tree, error) {
+		return d.Build(lbsn.BuildOptions{Metrics: reg})
+	}, wal.StoreOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	s := newPendingServer(reg, nil, log, 4)
+	s.finishStartup(store.Tree(), store, d.Spec.Start, d.Spec.End)
+	poi := indexedPOI(t, s, d)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	var once sync.Once
+	hs := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		once.Do(func() { close(entered) })
+		s.ServeHTTP(w, r)
+	})}
+	go hs.Serve(ln)
+
+	base := "http://" + ln.Addr().String()
+	type result struct {
+		code int
+		err  error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		body := strings.NewReader(fmt.Sprintf(`{"poi":%d,"ts":%d}`, poi, d.Spec.End+100))
+		resp, err := http.Post(base+"/v1/ingest", "application/json", body)
+		if err != nil {
+			inflight <- result{0, err}
+			return
+		}
+		resp.Body.Close()
+		inflight <- result{resp.StatusCode, nil}
+	}()
+
+	<-entered // the ingest is inside the server; its fsync is still pending
+	if err := hs.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	r := <-inflight
+	if r.err != nil || r.code != 200 {
+		t.Fatalf("in-flight ingest during shutdown: code=%d err=%v", r.code, r.err)
+	}
+	if lsn := store.DurableLSN(); lsn != 1 {
+		t.Errorf("drained ingest not durable: LSN %d, want 1", lsn)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("listener still accepting connections after Shutdown")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"tartree/internal/lbsn"
 	"tartree/internal/obs"
 	"tartree/internal/planner"
+	"tartree/internal/repl"
 	"tartree/internal/tia"
 	"tartree/internal/wal"
 )
@@ -74,6 +75,21 @@ type server struct {
 	// slo classifies finished query/ingest requests against the -slo
 	// objectives; nil (no objectives) records nothing.
 	slo *obs.SLOTracker
+
+	// Replication surface. role is "standalone" unless main configures a
+	// -repl-token ("leader") or -follow ("follower"); it and leaderURL are
+	// written before the ready flag like the other startup fields.
+	// replLeader is atomic because the /v1/repl routes are mounted at
+	// construction and must answer 403 until (and unless) the leader is
+	// enabled. watermark is the applied-LSN fence behind ?min_lsn=, set for
+	// every store-backed server: the leader advances it on each ingest ack,
+	// a follower on each replicated apply, so read-your-writes works
+	// identically on both roles.
+	role        string
+	leaderURL   string // follower only: where rejected writes are redirected
+	replLeader  atomic.Pointer[repl.Leader]
+	watermark   *repl.Watermark
+	replMetrics *repl.Metrics
 }
 
 // newServer builds a server that is ready immediately: the tree is already
@@ -138,6 +154,11 @@ func newPendingServer(reg *obs.Registry, traces *obs.TraceRing, log *slog.Logger
 	s.mux.HandleFunc("GET /debug/traces", redirectTo("/v1/traces"))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// The replication endpoints are mounted unconditionally and answer 403
+	// until enableReplLeader installs a leader, so the route set never
+	// mutates under a live listener.
+	s.mux.HandleFunc("GET /v1/repl/snapshot", s.handleReplSnapshot)
+	s.mux.HandleFunc("GET /v1/repl/wal", s.handleReplWAL)
 	// pprof registers itself on http.DefaultServeMux; mount the handlers
 	// explicitly so the server owns its mux.
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -156,7 +177,59 @@ func (s *server) finishStartup(tree *core.Tree, store *wal.Store, dataStart, dat
 	s.planner = planner.NewEstimator(tree)
 	s.planner.Instrument(s.reg)
 	s.dataStart, s.dataEnd = dataStart, dataEnd
+	if store != nil {
+		if s.watermark == nil {
+			s.watermark = repl.NewWatermark()
+		}
+		// Recovery already applied everything durable; min_lsn waits below
+		// that must not park.
+		s.watermark.Advance(store.AppliedLSN())
+	}
 	s.ready.Store(true)
+}
+
+// enableReplLeader turns on the /v1/repl endpoints. Call before
+// finishStartup so healthz readers never race the role fields.
+func (s *server) enableReplLeader(ld *repl.Leader) {
+	s.role = "leader"
+	s.replMetrics = ld.Metrics
+	s.replLeader.Store(ld)
+}
+
+// setFollower marks the server a read-only follower of leaderURL. Call
+// before finishStartup.
+func (s *server) setFollower(leaderURL string, wm *repl.Watermark, m *repl.Metrics) {
+	s.role = "follower"
+	s.leaderURL = leaderURL
+	s.watermark = wm
+	s.replMetrics = m
+}
+
+func (s *server) roleName() string {
+	if s.role == "" {
+		return "standalone"
+	}
+	return s.role
+}
+
+var errReplDisabled = fmt.Errorf("replication disabled: start the leader with -repl-token")
+
+func (s *server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
+	ld := s.replLeader.Load()
+	if ld == nil || !s.ready.Load() {
+		httpError(w, http.StatusForbidden, errReplDisabled)
+		return
+	}
+	ld.ServeSnapshot(w, r)
+}
+
+func (s *server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
+	ld := s.replLeader.Load()
+	if ld == nil || !s.ready.Load() {
+		httpError(w, http.StatusForbidden, errReplDisabled)
+		return
+	}
+	ld.ServeWAL(w, r)
 }
 
 // plan runs the Section-6 estimator for an explain request. With a WAL
@@ -194,6 +267,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so streaming handlers (the
+// replication WAL tail) can push partial responses through the wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // sloService maps a request path to the SLO service it counts against.
@@ -335,6 +416,27 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, po.timeout)
 		defer cancel()
 	}
+	if po.minLSN > 0 {
+		// Read-your-writes: park until the applied watermark reaches the
+		// client's LSN (typically the leader's ingest ack echoed to a
+		// follower). Without an explicit timeout_ms the wait is capped so a
+		// follower cut off from its leader answers 504 instead of hanging.
+		if s.watermark == nil {
+			httpError(w, http.StatusBadRequest, errMinLSNUnsupported)
+			return
+		}
+		wctx := ctx
+		if _, ok := wctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			wctx, cancel = context.WithTimeout(wctx, maxMinLSNWait)
+			defer cancel()
+		}
+		if err := s.watermark.Wait(wctx, po.minLSN); err != nil {
+			httpError(w, http.StatusGatewayTimeout,
+				fmt.Errorf("min_lsn %d not applied within deadline (applied %d)", po.minLSN, s.watermark.Value()))
+			return
+		}
+	}
 	reqSpan := obs.SpanFromContext(ctx)
 	begin := time.Now()
 	aw := reqSpan.StartChild("admission_wait")
@@ -425,6 +527,7 @@ type parseOpts struct {
 	nocache bool
 	explain bool
 	timeout time.Duration
+	minLSN  uint64
 }
 
 // parseQuery builds the core.Query from URL parameters. x and y are
@@ -482,17 +585,27 @@ func (s *server) parseQuery(r *http.Request) (core.Query, parseOpts, error) {
 		}
 		po.timeout = time.Duration(ms) * time.Millisecond
 	}
+	if raw := v.Get("min_lsn"); raw != "" {
+		if po.minLSN, err = strconv.ParseUint(raw, 10, 64); err != nil {
+			return q, po, fmt.Errorf("parameter min_lsn: %w", err)
+		}
+	}
 	po.traced = v.Get("trace") == "1" || v.Get("trace") == "true"
 	po.nocache = v.Get("nocache") == "1" || v.Get("nocache") == "true"
 	po.explain = v.Get("explain") == "1" || v.Get("explain") == "true"
 	return q, po, nil
 }
 
+// maxMinLSNWait caps a min_lsn watermark wait when the request carries no
+// timeout_ms of its own.
+const maxMinLSNWait = 5 * time.Second
+
 var (
-	errRecovering      = fmt.Errorf("recovering: index not ready, retry later")
-	errIngestDisabled  = fmt.Errorf("ingestion disabled: server started without -wal-dir")
-	errIngestEmpty     = fmt.Errorf("no check-ins in request")
-	errIngestBothForms = fmt.Errorf(`use either {"poi","ts"} or {"checkins":[...]}, not both`)
+	errRecovering        = fmt.Errorf("recovering: index not ready, retry later")
+	errIngestDisabled    = fmt.Errorf("ingestion disabled: server started without -wal-dir")
+	errIngestEmpty       = fmt.Errorf("no check-ins in request")
+	errIngestBothForms   = fmt.Errorf(`use either {"poi","ts"} or {"checkins":[...]}, not both`)
+	errMinLSNUnsupported = fmt.Errorf("min_lsn requires durable mode (-wal-dir)")
 )
 
 // ingestRequest is the JSON body of POST /ingest: either a single check-in
@@ -515,6 +628,15 @@ type ingestItem struct {
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !s.ready.Load() {
 		httpError(w, http.StatusServiceUnavailable, errRecovering)
+		return
+	}
+	if s.role == "follower" {
+		// A follower's WAL is a replica of the leader's — a local write
+		// would fork the LSN sequence. The Location header teaches the
+		// client where writes go.
+		w.Header().Set("Location", s.leaderURL+"/v1/ingest")
+		httpError(w, http.StatusForbidden,
+			fmt.Errorf("read-only follower: send writes to the leader at %s", s.leaderURL))
 		return
 	}
 	if s.store == nil {
@@ -563,6 +685,12 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	// The ack LSN doubles as the read-your-writes token: advancing the
+	// watermark here lets clients echo it as min_lsn on this server, and
+	// the response tells them what to echo to a follower.
+	if s.watermark != nil {
+		s.watermark.Advance(lsn)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"count":      len(cs),
 		"lsn":        lsn,
@@ -580,6 +708,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := map[string]any{
 		"status":         "ready",
+		"role":           s.roleName(),
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"indexed_pois":   s.tree.Len(),
 		"grouping":       s.tree.Grouping().String(),
@@ -592,6 +721,27 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"applied_lsn":      s.store.AppliedLSN(),
 			"checkpoint_lsn":   s.store.CheckpointLSN(),
 			"pending_checkins": pending,
+		}
+	}
+	switch s.role {
+	case "follower":
+		applied := s.store.AppliedLSN()
+		durable := s.replMetrics.LeaderDurableLSN()
+		var lag uint64
+		if durable > applied {
+			lag = durable - applied
+		}
+		resp["repl"] = map[string]any{
+			"leader":             s.leaderURL,
+			"applied_lsn":        applied,
+			"leader_durable_lsn": durable,
+			"lag_records":        lag,
+		}
+	case "leader":
+		resp["repl"] = map[string]any{
+			"snapshots_served": s.replMetrics.SnapshotsServed.Value(),
+			"stream_requests":  s.replMetrics.StreamRequests.Value(),
+			"records_streamed": s.replMetrics.RecordsStreamed.Value(),
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

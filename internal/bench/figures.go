@@ -558,9 +558,10 @@ var Experiments = map[string]func(Config) ([]Table, error){
 
 // ExperimentIDs lists the experiment ids in the paper's order, plus the
 // ingestion-throughput experiment, the cache experiment, the cost-model
-// calibration sweep and the smoke regression probe.
+// calibration sweep, the cold-start experiment, the replication
+// experiment and the smoke regression probe.
 func ExperimentIDs() []string {
 	return []string{"table2", "table4", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-		"ingest", "cache", "calibration", "startup", "smoke"}
+		"ingest", "cache", "calibration", "startup", "repl", "smoke"}
 }

@@ -1,0 +1,218 @@
+package repl
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"tartree/internal/wal"
+)
+
+// crashLeader is a static leader for the kill-point harness: the snapshot
+// endpoint serves a blob captured at LSN 200 (so every follower run sees
+// the identical bootstrap artifact no matter how far the leader's live
+// tree has moved), and the WAL endpoint is the real ServeWAL with a
+// 100-record-per-connection budget, which makes the follower's apply
+// sequence — and therefore its write-unit trace — fully deterministic.
+type crashLeader struct {
+	store *wal.Store
+	blob  []byte
+	lsn   uint64
+	srv   *httptest.Server
+}
+
+func startCrashLeader(t *testing.T, cs []wal.CheckIn, bootRecords int) *crashLeader {
+	t.Helper()
+	s, err := wal.OpenStore(testFS(t), newBaseTree, wal.StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	if _, err := s.Ingest(cs[:bootRecords]); err != nil {
+		t.Fatal(err)
+	}
+	blob, lsn, err := s.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != uint64(bootRecords) {
+		t.Fatalf("snapshot LSN %d, want %d", lsn, bootRecords)
+	}
+	if _, err := s.Ingest(cs[bootRecords:]); err != nil {
+		t.Fatal(err)
+	}
+
+	ld := &Leader{
+		Store:            s,
+		Token:            testToken,
+		ChunkRecords:     25,
+		MaxStreamRecords: 100,
+		PollTimeout:      1, // an idle poll closes immediately; reconnects are cheap
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/repl/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if !Authorized(r, testToken) {
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return
+		}
+		w.Header().Set(HeaderSnapshotLSN, strconv.FormatUint(lsn, 10))
+		w.Write(blob)
+	})
+	mux.HandleFunc("/v1/repl/wal", ld.ServeWAL)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return &crashLeader{store: s, blob: blob, lsn: lsn, srv: srv}
+}
+
+// crashFollowerWorkload drives a follower through every replication phase —
+// snapshot bootstrap, streaming applies across its own segment rotations,
+// a mid-run checkpoint (segment truncation) and a final checkpoint — until
+// it converges at target or the FaultFS kills it. It returns the highest
+// LSN acknowledged durable locally before the crash.
+//
+// The workload is strictly sequential (no goroutines, BatchMax 1, one
+// record per local group commit) so the counting run's unit trace aims
+// budgets at real phase boundaries.
+func crashFollowerWorkload(fs wal.FS, leaderURL string, target uint64) uint64 {
+	ctx := context.Background()
+	opts := FollowerOptions{LeaderURL: leaderURL, Token: testToken, BatchMax: 1}
+	if _, _, err := Bootstrap(ctx, fs, opts); err != nil {
+		return 0
+	}
+	s, err := wal.OpenStore(fs, newBaseTree, wal.StoreOptions{SegmentBytes: 768})
+	if err != nil {
+		return 0
+	}
+	defer s.Close()
+	f := &Follower{Store: s, Opts: opts}
+	for s.AppliedLSN() < target {
+		if _, err := f.streamOnce(ctx); err != nil {
+			return s.AppliedLSN()
+		}
+		// The 100-record connection budget steps applied exactly through
+		// 300, 400, 500; checkpoint on the middle step.
+		if s.AppliedLSN() == crashLeaderBoot+200 {
+			// Checkpoint halfway: exercises the follower's own snapshot
+			// write, rename and segment truncation under fire.
+			if _, err := s.Checkpoint(); err != nil {
+				return s.AppliedLSN()
+			}
+		}
+	}
+	if _, err := s.Checkpoint(); err != nil {
+		return s.AppliedLSN()
+	}
+	return s.AppliedLSN()
+}
+
+const (
+	crashLeaderBoot = 200
+	crashCorpusLen  = 500
+)
+
+// TestFollowerCrashRecoveryKillPoints is the fault-injection proof of the
+// replication contract: kill the follower at budgets aimed at every I/O
+// class in every phase — mid-bootstrap (torn snapshot download, before and
+// after the install rename), mid-segment append, mid-rotation,
+// mid-checkpoint — then restart it over the surviving files and require it
+// to converge to the leader: byte-identical applied LSN and
+// answer-identical on the query battery. A restart must never lose a
+// locally acknowledged record and never re-download a snapshot it already
+// installed.
+func TestFollowerCrashRecoveryKillPoints(t *testing.T) {
+	cs := corpus(crashCorpusLen, 41)
+	horizon := int64(crashCorpusLen*3 + 2*testEpochLn)
+	c := startCrashLeader(t, cs, crashLeaderBoot)
+	// Flush the leader up front so the shared assertStoresAgree flushes are
+	// no-ops under the parallel subtests.
+	if err := c.store.FlushEpochs(horizon); err != nil {
+		t.Fatal(err)
+	}
+
+	// Counting run: record the unit offset of every operation class.
+	countFS, err := wal.NewDirFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := wal.NewFaultFS(countFS, -1)
+	if got := crashFollowerWorkload(counter, c.srv.URL, crashCorpusLen); got != crashCorpusLen {
+		t.Fatalf("counting run converged at %d of %d", got, crashCorpusLen)
+	}
+	trace := counter.Trace()
+	if len(trace) == 0 {
+		t.Fatal("empty fault trace")
+	}
+
+	byOp := make(map[wal.Op][]wal.OpPoint)
+	for _, p := range trace {
+		byOp[p.Op] = append(byOp[p.Op], p)
+	}
+	total := counter.Used()
+	seen := make(map[int64]bool)
+	var budgets []int64
+	for _, points := range byOp {
+		picks := []wal.OpPoint{points[0], points[len(points)/2], points[len(points)-1]}
+		for _, p := range picks {
+			for _, b := range []int64{p.Used, p.Used + 13} {
+				if b >= 0 && b < total && !seen[b] {
+					seen[b] = true
+					budgets = append(budgets, b)
+				}
+			}
+		}
+	}
+	// Every phase must actually be under fire: snapshot install (create,
+	// write, sync, rename, dir sync), segment appends and rotations (write,
+	// sync, create), checkpoint truncation (remove).
+	for _, op := range []wal.Op{wal.OpWrite, wal.OpSync, wal.OpCreate, wal.OpRemove, wal.OpRename, wal.OpSyncDir} {
+		if len(byOp[op]) == 0 {
+			t.Errorf("workload never exercised op class %q", op)
+		}
+	}
+
+	for _, budget := range budgets {
+		budget := budget
+		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
+			t.Parallel()
+			dirFS, err := wal.NewDirFS(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			faulty := wal.NewFaultFS(dirFS, budget)
+			acked := crashFollowerWorkload(faulty, c.srv.URL, crashCorpusLen)
+			if !faulty.Crashed() {
+				t.Fatalf("budget %d did not crash the workload", budget)
+			}
+
+			// "Reboot" on the plain FS over whatever survived. Bootstrap
+			// re-downloads only when the crash predates the install rename.
+			ctx := context.Background()
+			opts := FollowerOptions{LeaderURL: c.srv.URL, Token: testToken, BatchMax: 1}
+			if _, _, err := Bootstrap(ctx, dirFS, opts); err != nil {
+				t.Fatalf("re-bootstrap after crash: %v", err)
+			}
+			s, err := wal.OpenStore(dirFS, newBaseTree, wal.StoreOptions{NoSync: true})
+			if err != nil {
+				t.Fatalf("recovery failed after crash at budget %d: %v", budget, err)
+			}
+			defer s.Close()
+			if got := s.AppliedLSN(); got < acked {
+				t.Fatalf("LOST %d acknowledged records: acked %d, recovered %d", acked-got, acked, got)
+			}
+			f := &Follower{Store: s, Opts: opts}
+			for s.AppliedLSN() < crashCorpusLen {
+				if _, err := f.streamOnce(ctx); err != nil {
+					t.Fatalf("resumed tail at LSN %d: %v", s.AppliedLSN(), err)
+				}
+			}
+			if got := s.AppliedLSN(); got != crashCorpusLen {
+				t.Fatalf("converged at LSN %d, want %d", got, crashCorpusLen)
+			}
+			assertStoresAgree(t, c.store, s, horizon)
+		})
+	}
+	t.Logf("%d kill points across %d op classes", len(budgets), len(byOp))
+}

@@ -1,0 +1,181 @@
+package repl
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tartree/internal/wal"
+)
+
+// Leader serves a store's WAL to followers over HTTP. Mount it on the
+// server mux with Register; both endpoints require the shared token.
+//
+// GET /v1/repl/snapshot streams a checkpoint-format snapshot of the tree
+// at the leader's contiguous applied LSN (X-Tartree-Snapshot-Lsn), the
+// follower's bootstrap artifact.
+//
+// GET /v1/repl/wal?from=<lsn> streams CRC32C frames from that LSN. The
+// handler pushes everything durable, then long-polls the durable watermark
+// and keeps streaming as records arrive; an idle poll expiring (or the
+// per-connection record budget running out) ends the response cleanly, and
+// the follower reconnects from its own applied LSN — which also refreshes
+// the X-Tartree-Durable-Lsn header its lag gauges feed on. A from below
+// the oldest surviving segment gets 410 Gone (checkpoint truncation ate
+// it; re-bootstrap), a from beyond durable+1 gets 409 Conflict (the
+// follower has records this leader never wrote — divergence).
+type Leader struct {
+	Store   *wal.Store
+	Token   string
+	Metrics *Metrics
+
+	// ChunkRecords caps how many frames are encoded per write+flush.
+	// 0 means 512.
+	ChunkRecords int
+	// MaxStreamRecords caps how many records one connection carries before
+	// a clean close forces a header-refreshing reconnect. 0 means 1<<20.
+	MaxStreamRecords int
+	// PollTimeout bounds the idle long-poll before a clean close.
+	// 0 means 10s.
+	PollTimeout time.Duration
+}
+
+func (ld *Leader) chunkRecords() int {
+	if ld.ChunkRecords > 0 {
+		return ld.ChunkRecords
+	}
+	return 512
+}
+
+func (ld *Leader) maxStreamRecords() int {
+	if ld.MaxStreamRecords > 0 {
+		return ld.MaxStreamRecords
+	}
+	return 1 << 20
+}
+
+func (ld *Leader) pollTimeout() time.Duration {
+	if ld.PollTimeout > 0 {
+		return ld.PollTimeout
+	}
+	return 10 * time.Second
+}
+
+// Register mounts the replication endpoints on mux.
+func (ld *Leader) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/v1/repl/snapshot", ld.ServeSnapshot)
+	mux.HandleFunc("/v1/repl/wal", ld.ServeWAL)
+}
+
+// authorize writes the error response itself when it returns false.
+func (ld *Leader) authorize(w http.ResponseWriter, r *http.Request) bool {
+	if ld.Token == "" {
+		http.Error(w, "replication disabled: no token configured", http.StatusForbidden)
+		return false
+	}
+	if !Authorized(r, ld.Token) {
+		http.Error(w, "missing or invalid replication token", http.StatusUnauthorized)
+		return false
+	}
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+// ServeSnapshot handles GET /v1/repl/snapshot.
+func (ld *Leader) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !ld.authorize(w, r) {
+		return
+	}
+	buf, lsn, err := ld.Store.EncodeSnapshot()
+	if err != nil {
+		http.Error(w, fmt.Sprintf("encoding snapshot: %v", err), http.StatusInternalServerError)
+		return
+	}
+	ld.Metrics.addSnapshotServed()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	w.Header().Set(HeaderSnapshotLSN, strconv.FormatUint(lsn, 10))
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf)
+}
+
+// ServeWAL handles GET /v1/repl/wal?from=<lsn>.
+func (ld *Leader) ServeWAL(w http.ResponseWriter, r *http.Request) {
+	if !ld.authorize(w, r) {
+		return
+	}
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil || from == 0 {
+		http.Error(w, "from must be a positive LSN", http.StatusBadRequest)
+		return
+	}
+	log := ld.Store.Log()
+	if oldest := log.OldestLSN(); from < oldest {
+		w.Header().Set(HeaderOldestLSN, strconv.FormatUint(oldest, 10))
+		http.Error(w, fmt.Sprintf("LSN %d truncated by checkpoint (oldest %d): re-bootstrap from snapshot", from, oldest),
+			http.StatusGone)
+		return
+	}
+	if durable := log.DurableLSN(); from > durable+1 {
+		http.Error(w, fmt.Sprintf("LSN %d is beyond this leader's durable %d: follower has diverged", from, durable),
+			http.StatusConflict)
+		return
+	}
+	ld.Metrics.addStreamRequest()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(HeaderDurableLSN, strconv.FormatUint(log.DurableLSN(), 10))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	rd := log.OpenSegmentReader(from)
+	defer rd.Close()
+	ctx := r.Context()
+	chunk := make([]wal.CheckIn, 0, ld.chunkRecords())
+	sent := 0
+	for sent < ld.maxStreamRecords() {
+		// Drain one chunk of durable records.
+		first := rd.NextLSN()
+		chunk = chunk[:0]
+		var rerr error
+		for len(chunk) < cap(chunk) {
+			_, c, err := rd.Next()
+			if err != nil {
+				rerr = err
+				break
+			}
+			chunk = append(chunk, c)
+		}
+		if len(chunk) > 0 {
+			if _, err := w.Write(wal.EncodeFrames(first, chunk)); err != nil {
+				return // client went away
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			sent += len(chunk)
+			ld.Metrics.addRecordsStreamed(len(chunk))
+		}
+		switch {
+		case rerr == nil:
+			// Chunk filled; keep draining.
+		case rerr == wal.ErrCaughtUp:
+			// Long-poll: park on the durable watermark. Expiry is the
+			// normal clean close — the follower reconnects.
+			pollCtx, cancel := context.WithTimeout(ctx, ld.pollTimeout())
+			err := log.WaitDurable(pollCtx, rd.NextLSN())
+			cancel()
+			if err != nil {
+				return
+			}
+		default:
+			// Truncation or corruption mid-stream: close the connection;
+			// the follower's reconnect surfaces the right status code.
+			return
+		}
+	}
+}

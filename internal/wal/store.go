@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -34,6 +35,58 @@ func parseCheckpointName(name string) (uint64, bool) {
 		return 0, false
 	}
 	return lsn, true
+}
+
+// CheckpointFileName formats the canonical file name of a checkpoint
+// covering every record with LSN <= lsn.
+func CheckpointFileName(lsn uint64) string { return checkpointName(lsn) }
+
+// InstallCheckpoint atomically installs snapshot bytes from r as the
+// checkpoint covering lsn: write to a scratch name, fsync, rename, fsync
+// the directory. This is the bootstrap path of a replication follower — it
+// seeds an empty WAL directory with the leader's snapshot so the normal
+// OpenStore recovery loads it like any local checkpoint. A crash mid-write
+// leaves only the scratch file, which recovery discards.
+func InstallCheckpoint(fs FS, lsn uint64, r io.Reader) error {
+	f, err := fs.Create(checkpointTmp)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(checkpointTmp, checkpointName(lsn)); err != nil {
+		return err
+	}
+	return fs.SyncDir()
+}
+
+// DirHasState reports whether the directory already holds recoverable
+// durable state — an installed checkpoint or WAL segments. A replication
+// follower bootstraps only when it does not: a restart recovers locally
+// instead of re-downloading the leader's snapshot.
+func DirHasState(fs FS) (bool, error) {
+	names, err := fs.List()
+	if err != nil {
+		return false, err
+	}
+	for _, name := range names {
+		if _, ok := parseCheckpointName(name); ok {
+			return true, nil
+		}
+		if _, ok := parseSegmentName(name); ok {
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 // StoreOptions configures OpenStore.
@@ -276,6 +329,49 @@ func (s *Store) IngestCtx(ctx context.Context, cs []CheckIn) (uint64, error) {
 	}
 	s.markApplied(first, last)
 	return last, nil
+}
+
+// ApplyReplicated ingests a batch received from a replication leader,
+// asserting it carries exactly the LSNs this store assigns next — the
+// follower's log must be a byte-for-byte copy of the leader's record
+// stream, so any discontinuity is divergence and fails loudly instead of
+// silently renumbering. The batch is durable locally (group commit) and
+// folded into the tree like any local ingest, so cache invalidation, epoch
+// flushes and checkpoints work unchanged.
+//
+// The caller must be the store's only writer (a follower rejects local
+// ingest), which makes the next-LSN check race-free.
+func (s *Store) ApplyReplicated(first uint64, cs []CheckIn) (uint64, error) {
+	if len(cs) == 0 {
+		return s.AppliedLSN(), nil
+	}
+	if next := s.log.NextLSN(); next != first {
+		return 0, fmt.Errorf("wal: replicated batch starts at LSN %d, log expects %d", first, next)
+	}
+	return s.Ingest(cs)
+}
+
+// EncodeSnapshot encodes a consistent snapshot of the tree (snapshot v3
+// when the store is configured for it, the legacy gob image otherwise) and
+// returns the encoded bytes plus the exact LSN they cover: the contiguous
+// applied prefix at encode time. A replication follower that installs these
+// bytes as a checkpoint and then tails the WAL from the returned LSN + 1
+// reconstructs the leader's tree exactly.
+func (s *Store) EncodeSnapshot() ([]byte, uint64, error) {
+	s.mu.RLock()
+	lsn := s.appliedContig
+	var buf bytes.Buffer
+	var err error
+	if s.opts.SnapshotV3 {
+		err = s.tree.SaveSnapshotV3(&buf)
+	} else {
+		err = s.tree.SaveSnapshot(&buf)
+	}
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, 0, err
+	}
+	return buf.Bytes(), lsn, nil
 }
 
 // markApplied records that LSNs [first,last] are folded into the tree and

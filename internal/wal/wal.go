@@ -115,9 +115,13 @@ type Log struct {
 	segments []segmentInfo // closed + active segments, ascending
 
 	durable atomic.Uint64
-	wake    chan struct{}
-	quit    chan struct{}
-	done    chan struct{}
+	// durableCh is closed and replaced under mu every time durable advances
+	// (and once more on Close) — the broadcast WaitDurable and the
+	// replication long-poll block on.
+	durableCh chan struct{}
+	wake      chan struct{}
+	quit      chan struct{}
+	done      chan struct{}
 
 	replay ReplayStats
 	m      *Metrics
@@ -153,12 +157,13 @@ func OpenLog(fs FS, opts LogOptions, after uint64, apply func(lsn uint64, c Chec
 		apply = func(uint64, CheckIn) error { return nil }
 	}
 	l := &Log{
-		fs:   fs,
-		opts: opts,
-		wake: make(chan struct{}, 1),
-		quit: make(chan struct{}),
-		done: make(chan struct{}),
-		m:    opts.Metrics,
+		fs:        fs,
+		opts:      opts,
+		durableCh: make(chan struct{}),
+		wake:      make(chan struct{}, 1),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+		m:         opts.Metrics,
 	}
 	if err := l.recover(after, apply); err != nil {
 		return nil, err
@@ -339,8 +344,41 @@ func (l *Log) commit(batch []*appendReq) error {
 	}
 	last := batch[len(batch)-1].last
 	l.durable.Store(last)
+	l.broadcastDurable()
 	l.m.batchDone(len(batch), records)
 	return nil
+}
+
+// broadcastDurable wakes every WaitDurable blocked on an older watermark.
+func (l *Log) broadcastDurable() {
+	l.mu.Lock()
+	close(l.durableCh)
+	l.durableCh = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// WaitDurable blocks until DurableLSN() >= lsn, ctx ends, or the log is
+// closed. The replication stream uses it to long-poll the live segment:
+// a caught-up reader parks here instead of spinning on DurableLSN.
+func (l *Log) WaitDurable(ctx context.Context, lsn uint64) error {
+	for {
+		l.mu.Lock()
+		if l.durable.Load() >= lsn {
+			l.mu.Unlock()
+			return nil
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return ErrClosed
+		}
+		ch := l.durableCh
+		l.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
 }
 
 // rotate closes the active segment and starts a new one whose first record
@@ -448,6 +486,7 @@ func (l *Log) Close() error {
 	l.mu.Unlock()
 	close(l.quit)
 	<-l.done
+	l.broadcastDurable() // wake WaitDurable parkers so they observe closed
 	if l.seg != nil {
 		if !l.opts.NoSync {
 			if err := l.seg.Sync(); err != nil {
