@@ -4,27 +4,31 @@
 // the whole public API: data generation, index construction, querying and
 // the minimum weight adjustment.
 //
-// With -server it instead queries a running tarserve over HTTP; adding
-// -min-lsn holds the query until that server has applied the given LSN,
-// which is how a client reads its own writes from a replication follower.
+// With -server it instead queries a running tarserve over HTTP — a
+// standalone server, a replication follower, or a shard coordinator, the
+// client cannot tell. -explain and -io work remotely too: the server's
+// plan tree (or, on a coordinator, the per-shard attribution) and I/O
+// breakdown ride back in the response. Adding -min-lsn holds the query
+// until that server has applied the given LSN, which is how a client
+// reads its own writes from a replication follower.
 package main
 
 import (
 	"context"
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
-	"net/url"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
 	"tartree"
+	"tartree/internal/client"
+	"tartree/internal/httpapi"
 	"tartree/internal/lbsn"
 	"tartree/internal/mwa"
+	"tartree/internal/obs"
 	"tartree/internal/pagestore"
 	"tartree/internal/planner"
 )
@@ -58,7 +62,7 @@ func main() {
 		fatal(fmt.Errorf("-min-lsn requires -server"))
 	}
 	if *server != "" {
-		remoteQuery(*server, *x, *y, *k, *alpha, *days, *minLSN)
+		remoteQuery(*server, *x, *y, *k, *alpha, *days, *minLSN, *explain, *showIO)
 		return
 	}
 
@@ -224,64 +228,34 @@ func main() {
 	}
 }
 
-// remoteResponse mirrors the fields of tarserve's /v1/query answer that
-// the CLI renders.
-type remoteResponse struct {
-	Query struct {
-		Start int64 `json:"start"`
-		End   int64 `json:"end"`
-	} `json:"query"`
-	Results []struct {
-		POI   int64   `json:"poi"`
-		X     float64 `json:"x"`
-		Y     float64 `json:"y"`
-		Score float64 `json:"score"`
-		S0    float64 `json:"s0"`
-		S1    float64 `json:"s1"`
-		Agg   int64   `json:"agg"`
-	} `json:"results"`
-	Stats struct {
-		InternalAccesses int   `json:"internal_accesses"`
-		LeafAccesses     int   `json:"leaf_accesses"`
-		TIAAccesses      int64 `json:"tia_accesses"`
-		ResultCacheHit   bool  `json:"result_cache_hit"`
-	} `json:"stats"`
-	ElapsedMicros int64 `json:"elapsed_us"`
-}
-
 // remoteQuery answers the query over HTTP against a running tarserve
-// instead of building a local index. With minLSN > 0 the server holds the
-// query until its applied LSN reaches that watermark, which gives
-// read-your-writes semantics against a replication follower: ingest on
-// the leader, note the acknowledged LSN, query the follower with it.
-func remoteQuery(server string, x, y float64, k int, alpha float64, days int64, minLSN uint64) {
-	v := url.Values{}
-	v.Set("x", strconv.FormatFloat(x, 'g', -1, 64))
-	v.Set("y", strconv.FormatFloat(y, 'g', -1, 64))
-	v.Set("k", strconv.Itoa(k))
-	v.Set("alpha", strconv.FormatFloat(alpha, 'g', -1, 64))
-	v.Set("days", strconv.FormatInt(days, 10))
-	if minLSN > 0 {
-		v.Set("min_lsn", strconv.FormatUint(minLSN, 10))
+// instead of building a local index, through the same client.Remote
+// Querier the batch runner and the shard coordinator tests use. With
+// minLSN > 0 the server holds the query until its applied LSN reaches
+// that watermark, which gives read-your-writes semantics against a
+// replication follower: ingest on the leader, note the acknowledged LSN,
+// query the follower with it.
+func remoteQuery(server string, x, y float64, k int, alpha float64, days int64, minLSN uint64, explain, showIO bool) {
+	rem := &client.Remote{
+		BaseURL: strings.TrimRight(server, "/"),
+		MinLSN:  minLSN,
+		Days:    days,
 	}
-	u := strings.TrimRight(server, "/") + "/v1/query?" + v.Encode()
+	q := tartree.Query{X: x, Y: y, K: k, Alpha0: alpha}
+	opts := &tartree.QueryOpts{}
+	var exp *tartree.Explain
+	if explain {
+		exp = tartree.NewExplain()
+		opts.Explain = exp
+	}
 	start := time.Now()
-	resp, err := http.Get(u)
+	resp, err := rem.Do(context.Background(), q, opts)
 	if err != nil {
-		fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-		msg := strings.TrimSpace(string(body))
-		if resp.StatusCode == http.StatusGatewayTimeout && minLSN > 0 {
-			fatal(fmt.Errorf("server has not applied LSN %d within its deadline: %s", minLSN, msg))
+		var herr *httpapi.Error
+		if errors.As(err, &herr) && herr.Status == http.StatusGatewayTimeout && minLSN > 0 {
+			fatal(fmt.Errorf("server has not applied LSN %d within its deadline: %s", minLSN, herr.Message))
 		}
-		fatal(fmt.Errorf("query: %s: %s", resp.Status, msg))
-	}
-	var qr remoteResponse
-	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
-		fatal(fmt.Errorf("decoding query response: %w", err))
+		fatal(err)
 	}
 	elapsed := time.Since(start)
 
@@ -291,17 +265,44 @@ func remoteQuery(server string, x, y float64, k int, alpha float64, days int64, 
 		fmt.Printf("answered at or after applied LSN %d\n", minLSN)
 	}
 	fmt.Printf("\n%4s  %6s  %8s  %8s  %8s  %8s  %6s\n", "rank", "poi", "score", "s0", "s1", "x/y", "agg")
-	for i, r := range qr.Results {
+	for i, r := range resp.Results {
 		fmt.Printf("%4d  %6d  %8.4f  %8.4f  %8.4f  %4.1f/%-4.1f %6d\n",
-			i+1, r.POI, r.Score, r.S0, r.S1, r.X, r.Y, r.Agg)
+			i+1, r.POI.ID, r.Score, r.S0, r.S1, r.POI.X, r.POI.Y, r.Agg)
 	}
 	cached := ""
-	if qr.Stats.ResultCacheHit {
+	if resp.Stats.ResultCacheHit {
 		cached = " (whole result from the server's cache)"
 	}
 	fmt.Printf("\n%d node accesses (%d internal, %d leaf), %d TIA page reads, server %v, round trip %v%s\n",
-		qr.Stats.InternalAccesses+qr.Stats.LeafAccesses, qr.Stats.InternalAccesses, qr.Stats.LeafAccesses,
-		qr.Stats.TIAAccesses, time.Duration(qr.ElapsedMicros)*time.Microsecond, elapsed.Round(time.Microsecond), cached)
+		resp.Stats.InternalAccesses+resp.Stats.LeafAccesses, resp.Stats.InternalAccesses, resp.Stats.LeafAccesses,
+		resp.Stats.TIAAccesses, time.Duration(resp.ElapsedMicros)*time.Microsecond, elapsed.Round(time.Microsecond), cached)
+
+	if showIO {
+		printRemoteIO(resp.IO, resp.Stats)
+	}
+	if exp != nil {
+		printExplain(exp)
+	}
+}
+
+// printRemoteIO renders the per-component I/O attribution a remote query
+// reports (the flattened io lines of the /v1/query response).
+func printRemoteIO(lines []obs.IOLine, stats tartree.QueryStats) {
+	fmt.Printf("\nI/O breakdown (level 0 = leaf; shard rows: level = shard index):\n")
+	fmt.Printf("%-16s %5s  %8s  %8s  %9s\n", "component", "level", "hits", "misses", "evictions")
+	var hits, misses, evictions int64
+	for _, l := range lines {
+		fmt.Printf("%-16s %5d  %8d  %8d  %9d\n", l.Component, l.Level, l.Hits, l.Misses, l.Evictions)
+		hits += l.Hits
+		misses += l.Misses
+		evictions += l.Evictions
+	}
+	fmt.Printf("%-16s %5s  %8d  %8d  %9d\n", "total", "", hits, misses, evictions)
+	fmt.Printf("cache: %d hits, %d misses", stats.CacheHits, stats.CacheMisses)
+	if stats.ResultCacheHit {
+		fmt.Printf(" (whole result served from cache)")
+	}
+	fmt.Println()
 }
 
 // printIOBreakdown renders the attributed page traffic of one query as a
@@ -355,6 +356,21 @@ func printExplain(e *tartree.Explain) {
 		fmt.Printf(" (whole result from cache)")
 	}
 	fmt.Println()
+	if len(e.Shards) > 0 {
+		fmt.Printf("├─ shards (scatter-gather):\n")
+		for _, s := range e.Shards {
+			extra := ""
+			if s.Pruned {
+				extra = ", pruned by global bound"
+			}
+			if s.Restarts > 0 {
+				extra += fmt.Sprintf(", %d restart(s)", s.Restarts)
+			}
+			fmt.Printf("│    shard %d %s: %d candidates over %d rounds (%d bound pushes), %d node accesses, %d TIA reads, %v%s\n",
+				s.Shard, s.URL, s.Results, s.Rounds, s.BoundPushes, s.NodeAccesses, s.TIAReads,
+				time.Duration(s.ElapsedMicros)*time.Microsecond, extra)
+		}
+	}
 	if len(e.PopLog) > 0 {
 		shown := len(e.PopLog)
 		if shown > maxShown {

@@ -150,14 +150,20 @@ func TestServeQueryExplainTimeout(t *testing.T) {
 		t.Fatalf("status %d, want 504: %s", rec.Code, rec.Body.String())
 	}
 	var out struct {
-		Error   string        `json:"error"`
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
 		Explain *explainProbe `json:"explain"`
 	}
 	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
 		t.Fatalf("504 body not JSON: %v\n%s", err, rec.Body.String())
 	}
-	if out.Error == "" {
-		t.Error("504 explain body has no error")
+	if out.Error.Message == "" {
+		t.Error("504 explain body has no error message")
+	}
+	if out.Error.Code != "timeout" {
+		t.Errorf("504 explain error code %q, want %q", out.Error.Code, "timeout")
 	}
 	if out.Explain == nil {
 		t.Fatal("504 body swallowed the explain object")

@@ -55,6 +55,22 @@
 // replication lag on both sides; the follower additionally exports
 // tartree_repl_{applied_lsn,lag_records,lag_seconds}.
 //
+// # Sharding
+//
+// A fleet of servers can split the POI set spatially: datagen -shard-map
+// writes an STR-style partition map, each shard runs with
+// -shard-of i/N -shard-map map.json (indexing only its slice, over the
+// full world so scores stay bit-identical), and one coordinator runs with
+// -coordinator url0,url1,... and no local index. The coordinator serves
+// /v1/query by scatter-gather: it fans the query to every shard, streams
+// candidate batches back, and pushes the merged global k-th score to
+// in-flight shards so each prunes against the global bound. Answers are
+// exactly identical to single-node execution; a failed shard turns the
+// whole query into a 503 naming the shard, never a silently partial
+// top-k. /healthz reports the role and the shard's key range;
+// tartree_shard_* metrics cover fan-out, rounds, bound pushes and
+// straggler latency.
+//
 // On SIGINT/SIGTERM the server drains in-flight requests, stops the
 // replication tail and background loops, flushes observed epochs and
 // closes the WAL cleanly before exiting.
@@ -79,6 +95,7 @@ import (
 	"tartree/internal/lbsn"
 	"tartree/internal/obs"
 	"tartree/internal/repl"
+	"tartree/internal/shard"
 	"tartree/internal/wal"
 )
 
@@ -107,8 +124,51 @@ func main() {
 		freeze  = flag.Bool("freeze", true, "compile the index into its pointer-free flat layout after startup; queries traverse the frozen slabs")
 		follow  = flag.String("follow", "", "run as a replication follower of this leader base URL (requires -wal-dir and -repl-token)")
 		replTok = flag.String("repl-token", "", "shared replication secret: enables the leader's /v1/repl endpoints, authenticates a follower; empty disables replication")
+		shardOf = flag.String("shard-of", "", `serve spatial shard "i/N" of the data set (requires -shard-map); only POIs the map assigns to shard i are indexed`)
+		mapFile = flag.String("shard-map", "", "shard map JSON file (written by datagen -shard-map); required with -shard-of")
+		coord   = flag.String("coordinator", "", "comma-separated shard base URLs: run /v1/query as a scatter-gather coordinator over them (no local index)")
 	)
 	flag.Parse()
+	var (
+		shardIdx, shardN int
+		shardMap         *shard.Map
+	)
+	if *shardOf != "" {
+		switch {
+		case *coord != "":
+			fatal(errors.New("-shard-of and -coordinator are mutually exclusive roles"))
+		case *follow != "":
+			fatal(errors.New("-shard-of cannot be combined with -follow: a shard owns its own slice of the base data"))
+		case *replTok != "":
+			fatal(errors.New("-shard-of cannot be combined with -repl-token"))
+		case *mapFile == "":
+			fatal(errors.New("-shard-of requires -shard-map"))
+		}
+		if n, err := fmt.Sscanf(*shardOf, "%d/%d", &shardIdx, &shardN); err != nil || n != 2 {
+			fatal(fmt.Errorf("-shard-of must look like \"0/4\", got %q", *shardOf))
+		}
+		if shardN < 1 || shardIdx < 0 || shardIdx >= shardN {
+			fatal(fmt.Errorf("-shard-of index %d out of range for %d shards", shardIdx, shardN))
+		}
+		m, err := shard.LoadMap(*mapFile)
+		if err != nil {
+			fatal(err)
+		}
+		if m.N != shardN {
+			fatal(fmt.Errorf("-shard-of names %d shards but map %s holds %d", shardN, *mapFile, m.N))
+		}
+		shardMap = m
+	}
+	if *coord != "" {
+		switch {
+		case *follow != "":
+			fatal(errors.New("-coordinator cannot be combined with -follow"))
+		case *replTok != "":
+			fatal(errors.New("-coordinator cannot be combined with -repl-token: the coordinator holds no WAL to replicate"))
+		case *walDir != "":
+			fatal(errors.New("-coordinator cannot be combined with -wal-dir: ingest goes to the shards, not the coordinator"))
+		}
+	}
 	if *follow != "" {
 		switch {
 		case *walDir == "":
@@ -148,15 +208,25 @@ func main() {
 		fatal(err)
 	}
 	spec = spec.Scaled(*scale)
-	// A follower never builds a local base: its tree comes from the
-	// leader's snapshot, so only the spec (the default query interval) is
-	// needed and the expensive generation is skipped.
+	// Neither a follower nor a coordinator builds a local base: the
+	// follower's tree comes from the leader's snapshot, the coordinator
+	// delegates every query to its shards. Both need only the spec (the
+	// default query interval), so the expensive generation is skipped.
 	var d *lbsn.Dataset
-	if *follow == "" {
+	if *follow == "" && *coord == "" {
 		log.Info("generating data set", "dataset", spec.Name, "scale", *scale)
 		if d, err = lbsn.Generate(spec); err != nil {
 			fatal(err)
 		}
+	}
+	// A shard indexes only the POIs the map assigns to it; Locate is the
+	// membership oracle so every process sharing the map agrees exactly.
+	var keep func(p core.POI) bool
+	if shardMap != nil {
+		if d.World != shardMap.World {
+			fatal(fmt.Errorf("shard map %s was built for world %v, data set has %v — regenerate it with datagen -shard-map at the same -dataset/-scale", *mapFile, shardMap.World, d.World))
+		}
+		keep = func(p core.POI) bool { return shardMap.Locate(p.X, p.Y) == shardIdx }
 	}
 
 	reg := obs.NewRegistry()
@@ -216,14 +286,45 @@ func main() {
 		log.Info("shutdown complete")
 	}
 
+	// Coordinator: no local index at all. /v1/query scatter-gathers across
+	// the shard fleet; everything else (metrics, traces, healthz) works as
+	// usual over the nil tree.
+	if *coord != "" {
+		urls := strings.Split(*coord, ",")
+		for i := range urls {
+			urls[i] = strings.TrimRight(strings.TrimSpace(urls[i]), "/")
+			if urls[i] == "" {
+				fatal(fmt.Errorf("-coordinator has an empty shard URL in %q", *coord))
+			}
+		}
+		srv.setCoordinator(&shard.Coordinator{
+			Shards:  urls,
+			Metrics: shard.NewMetrics(reg),
+		}, shardMap)
+		srv.finishStartup(nil, nil, spec.Start, spec.End)
+		log.Info("coordinator ready", "shards", len(urls))
+		waitAndDrain(nil)
+		return
+	}
+
 	buildStart := time.Now()
 	if *walDir == "" {
-		tr, err := d.Build(lbsn.BuildOptions{Grouping: g, Metrics: reg, Traces: ring, Cache: cache})
+		tr, err := d.Build(lbsn.BuildOptions{Grouping: g, Metrics: reg, Traces: ring, Cache: cache, Keep: keep})
 		if err != nil {
 			fatal(err)
 		}
 		if *freeze {
 			tr.Freeze()
+		}
+		if shardMap != nil {
+			srv.enableShard(&shard.Server{
+				Data:    shard.TreeViewer{Tree: tr},
+				Index:   shardIdx,
+				N:       shardN,
+				Region:  shardMap.Region(shardIdx),
+				Metrics: shard.NewMetrics(reg),
+			}, shardMap)
+			log.Info("shard enabled", "shard", shardIdx, "of", shardN)
 		}
 		logIndex(log, tr, buildStart)
 		srv.finishStartup(tr, nil, d.Spec.Start, d.Spec.End)
@@ -273,9 +374,9 @@ func main() {
 			return nil, errors.New("follower WAL directory holds no snapshot; bootstrap should have installed one")
 		}
 		if *replay != "" {
-			return d.BuildEmpty(lbsn.BuildOptions{Grouping: g, Metrics: reg, Traces: ring, Cache: cache})
+			return d.BuildEmpty(lbsn.BuildOptions{Grouping: g, Metrics: reg, Traces: ring, Cache: cache, Keep: keep})
 		}
-		return d.Build(lbsn.BuildOptions{Grouping: g, Metrics: reg, Traces: ring, Cache: cache})
+		return d.Build(lbsn.BuildOptions{Grouping: g, Metrics: reg, Traces: ring, Cache: cache, Keep: keep})
 	}
 	store, err := wal.OpenStore(fs, base, wal.StoreOptions{
 		Metrics:    reg,
@@ -321,6 +422,19 @@ func main() {
 	case *replTok != "":
 		srv.enableReplLeader(&repl.Leader{Store: store, Token: *replTok, Metrics: repl.NewMetrics(reg)})
 		log.Info("replication leader enabled", "endpoints", "/v1/repl/snapshot /v1/repl/wal")
+	}
+	if shardMap != nil {
+		// The store is the shard's Viewer: each scatter-gather round runs
+		// under its read lock, and live ingest between rounds bumps the tree
+		// version so in-flight sessions restart instead of answering stale.
+		srv.enableShard(&shard.Server{
+			Data:    store,
+			Index:   shardIdx,
+			N:       shardN,
+			Region:  shardMap.Region(shardIdx),
+			Metrics: shard.NewMetrics(reg),
+		}, shardMap)
+		log.Info("shard enabled", "shard", shardIdx, "of", shardN)
 	}
 	logIndex(log, store.Tree(), buildStart)
 	srv.finishStartup(store.Tree(), store, spec.Start, spec.End)

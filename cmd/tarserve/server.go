@@ -15,10 +15,12 @@ import (
 	"time"
 
 	"tartree/internal/core"
+	"tartree/internal/httpapi"
 	"tartree/internal/lbsn"
 	"tartree/internal/obs"
 	"tartree/internal/planner"
 	"tartree/internal/repl"
+	"tartree/internal/shard"
 	"tartree/internal/tia"
 	"tartree/internal/wal"
 )
@@ -90,6 +92,14 @@ type server struct {
 	replLeader  atomic.Pointer[repl.Leader]
 	watermark   *repl.Watermark
 	replMetrics *repl.Metrics
+
+	// Sharding surface. A shard serves the /v1/shard routes through
+	// shardSrv (mounted at construction, 403 until enableShard — the repl
+	// pattern); a coordinator answers /v1/query through coord with tree
+	// and store nil. shardMap is reported by healthz on both roles.
+	coord    *shard.Coordinator
+	shardSrv atomic.Pointer[shard.Server]
+	shardMap *shard.Map
 }
 
 // newServer builds a server that is ready immediately: the tree is already
@@ -136,7 +146,7 @@ func newPendingServer(reg *obs.Registry, traces *obs.TraceRing, log *slog.Logger
 		return 0
 	})
 	reg.GaugeFunc("tarserve_indexed_pois", func() float64 {
-		if !s.ready.Load() {
+		if !s.ready.Load() || s.tree == nil {
 			return 0
 		}
 		return float64(s.tree.Len())
@@ -159,6 +169,16 @@ func newPendingServer(reg *obs.Registry, traces *obs.TraceRing, log *slog.Logger
 	// mutates under a live listener.
 	s.mux.HandleFunc("GET /v1/repl/snapshot", s.handleReplSnapshot)
 	s.mux.HandleFunc("GET /v1/repl/wal", s.handleReplWAL)
+	// The shard endpoints follow the same pattern: always mounted, 403
+	// until enableShard installs the shard server.
+	s.mux.HandleFunc("GET /v1/shard/gmax", s.handleShardGmax)
+	s.mux.HandleFunc("POST /v1/shard/query", s.handleShardQuery)
+	s.mux.HandleFunc("POST /v1/shard/next", s.handleShardNext)
+	// Unknown /v1/* paths get the JSON error envelope instead of the
+	// mux's plain-text 404 (registered routes win by specificity).
+	s.mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		httpapi.WriteStatusError(w, http.StatusNotFound, "no such API route: "+r.URL.Path)
+	})
 	// pprof registers itself on http.DefaultServeMux; mount the handlers
 	// explicitly so the server owns its mux.
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -174,8 +194,10 @@ func newPendingServer(reg *obs.Registry, traces *obs.TraceRing, log *slog.Logger
 func (s *server) finishStartup(tree *core.Tree, store *wal.Store, dataStart, dataEnd int64) {
 	s.tree = tree
 	s.store = store
-	s.planner = planner.NewEstimator(tree)
-	s.planner.Instrument(s.reg)
+	if tree != nil {
+		s.planner = planner.NewEstimator(tree)
+		s.planner.Instrument(s.reg)
+	}
 	s.dataStart, s.dataEnd = dataStart, dataEnd
 	if store != nil {
 		if s.watermark == nil {
@@ -205,6 +227,22 @@ func (s *server) setFollower(leaderURL string, wm *repl.Watermark, m *repl.Metri
 	s.replMetrics = m
 }
 
+// enableShard turns on the /v1/shard endpoints. Call before finishStartup
+// so healthz readers never race the role fields.
+func (s *server) enableShard(sh *shard.Server, m *shard.Map) {
+	s.role = "shard"
+	s.shardMap = m
+	s.shardSrv.Store(sh)
+}
+
+// setCoordinator routes /v1/query through the scatter-gather coordinator.
+// Call before finishStartup; the server then runs with a nil tree.
+func (s *server) setCoordinator(c *shard.Coordinator, m *shard.Map) {
+	s.role = "coordinator"
+	s.shardMap = m
+	s.coord = c
+}
+
 func (s *server) roleName() string {
 	if s.role == "" {
 		return "standalone"
@@ -230,6 +268,37 @@ func (s *server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ld.ServeWAL(w, r)
+}
+
+var errShardDisabled = fmt.Errorf("sharding disabled: start this server with -shard-of")
+
+// shardServer returns the shard server, or writes the 403 envelope and
+// returns nil when this process is not a (ready) shard.
+func (s *server) shardServer(w http.ResponseWriter) *shard.Server {
+	sh := s.shardSrv.Load()
+	if sh == nil || !s.ready.Load() {
+		httpError(w, http.StatusForbidden, errShardDisabled)
+		return nil
+	}
+	return sh
+}
+
+func (s *server) handleShardGmax(w http.ResponseWriter, r *http.Request) {
+	if sh := s.shardServer(w); sh != nil {
+		sh.HandleGmax(w, r)
+	}
+}
+
+func (s *server) handleShardQuery(w http.ResponseWriter, r *http.Request) {
+	if sh := s.shardServer(w); sh != nil {
+		sh.HandleQuery(w, r)
+	}
+}
+
+func (s *server) handleShardNext(w http.ResponseWriter, r *http.Request) {
+	if sh := s.shardServer(w); sh != nil {
+		sh.HandleNext(w, r)
+	}
 }
 
 // plan runs the Section-6 estimator for an explain request. With a WAL
@@ -403,9 +472,13 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		opts.Explain = exp
 		// A plan failure (degenerate tree, unfittable distribution) must not
 		// fail the query: the explain then reports actuals without estimates.
-		if pl, perr := s.plan(q); perr == nil {
-			plan, planned = pl, true
-			exp.Plan = plan.Explain()
+		// A coordinator has no local tree and therefore no planner; its
+		// explain reports the per-shard attribution instead.
+		if s.planner != nil {
+			if pl, perr := s.plan(q); perr == nil {
+				plan, planned = pl, true
+				exp.Plan = plan.Explain()
+			}
 		}
 	}
 	// The request context already ends the query when the client goes
@@ -451,13 +524,21 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		results []core.Result
 		stats   core.QueryStats
 	)
-	if s.store != nil {
+	// All three execution paths sit behind the same core.Querier call
+	// shape: scatter-gather across shards, the lock-guarded WAL store, or
+	// the bare tree.
+	var querier core.Querier
+	switch {
+	case s.coord != nil:
+		querier = s.coord
+	case s.store != nil:
 		// Live ingestion is on: queries must hold the store's read lock so
 		// they never observe a half-applied batch.
-		results, stats, err = s.store.QueryCtx(ctx, q, &opts)
-	} else {
-		results, stats, err = s.tree.QueryCtx(ctx, q, &opts)
+		querier = s.store
+	default:
+		querier = s.tree
 	}
+	results, stats, err = querier.QueryCtx(ctx, q, &opts)
 	ex.End()
 	s.inflight.Add(-1)
 	<-s.admission
@@ -465,6 +546,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.planner.Observe(plan, exp)
 	}
 	if err != nil {
+		var shardErr *shard.ShardError
 		switch {
 		case errors.Is(err, core.ErrCanceled):
 			if exp != nil {
@@ -472,12 +554,20 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				// frontier: a timed-out explain reports what the search had
 				// done, not just the error.
 				writeJSON(w, http.StatusGatewayTimeout, map[string]any{
-					"error":   err.Error(),
+					"error": httpapi.Detail{
+						Code:    httpapi.CodeTimeout,
+						Message: err.Error(),
+					},
 					"explain": exp,
 				})
 				return
 			}
 			httpError(w, http.StatusGatewayTimeout, err)
+		case errors.As(err, &shardErr):
+			// A failed shard aborts the whole query — never a silently
+			// partial top-k. The envelope names the shard so operators know
+			// where to look.
+			httpError(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, core.ErrInvalid):
 			httpError(w, http.StatusBadRequest, err)
 		default:
@@ -710,8 +800,10 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":         "ready",
 		"role":           s.roleName(),
 		"uptime_seconds": time.Since(s.start).Seconds(),
-		"indexed_pois":   s.tree.Len(),
-		"grouping":       s.tree.Grouping().String(),
+	}
+	if s.tree != nil {
+		resp["indexed_pois"] = s.tree.Len()
+		resp["grouping"] = s.tree.Grouping().String()
 	}
 	if s.store != nil {
 		var pending int64
@@ -742,6 +834,22 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"snapshots_served": s.replMetrics.SnapshotsServed.Value(),
 			"stream_requests":  s.replMetrics.StreamRequests.Value(),
 			"records_streamed": s.replMetrics.RecordsStreamed.Value(),
+		}
+	case "shard":
+		if sh := s.shardSrv.Load(); sh != nil {
+			region := sh.Region
+			resp["shard"] = map[string]any{
+				"index": sh.Index,
+				"of":    sh.N,
+				"region": map[string]any{
+					"min_x": region.Min[0], "min_y": region.Min[1],
+					"max_x": region.Max[0], "max_y": region.Max[1],
+				},
+			}
+		}
+	case "coordinator":
+		resp["shard"] = map[string]any{
+			"shards": s.coord.Shards,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -796,6 +904,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// httpError writes the unified JSON error envelope (internal/httpapi): the
+// code derives from the status, and a shard failure carries the failing
+// shard's index and URL in details.
 func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	var details map[string]any
+	var shardErr *shard.ShardError
+	if errors.As(err, &shardErr) {
+		details = map[string]any{"shard": shardErr.Shard, "url": shardErr.URL}
+	}
+	httpapi.WriteError(w, status, httpapi.CodeForStatus(status), err.Error(), details)
 }

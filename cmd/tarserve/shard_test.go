@@ -1,0 +1,365 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"math"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+
+	"tartree/internal/core"
+	"tartree/internal/lbsn"
+	"tartree/internal/obs"
+	"tartree/internal/shard"
+)
+
+// shardedCluster is the full server wiring under test: n tarserve processes
+// in the shard role behind loopback HTTP, one tarserve coordinator fronting
+// them, and a standalone single-node server over the same corpus as the
+// identity oracle.
+type shardedCluster struct {
+	coord  *server
+	single *server
+	urls   []string
+	m      *shard.Map
+	d      *lbsn.Dataset
+	// shardServers lets tests reach into one shard's HTTP server (e.g. to
+	// kill it).
+	shardServers []*httptest.Server
+}
+
+func newShardedCluster(t *testing.T, n int) *shardedCluster {
+	t.Helper()
+	spec, err := lbsn.SpecByName("GS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := lbsn.Generate(spec.Scaled(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := shard.Partition(d.EffectivePOIs(0, 0), n, d.World)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	c := &shardedCluster{m: m, d: d, urls: make([]string, n), shardServers: make([]*httptest.Server, n)}
+	for i := 0; i < n; i++ {
+		idx := i
+		tr, err := d.Build(lbsn.BuildOptions{
+			Keep: func(p core.POI) bool { return m.Locate(p.X, p.Y) == idx },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh := newPendingServer(obs.NewRegistry(), obs.NewTraceRing(8), log, 4)
+		sh.enableShard(&shard.Server{
+			Data:   shard.TreeViewer{Tree: tr},
+			Index:  idx,
+			N:      n,
+			Region: m.Region(idx),
+		}, m)
+		sh.finishStartup(tr, nil, d.Spec.Start, d.Spec.End)
+		srv := httptest.NewServer(sh)
+		t.Cleanup(srv.Close)
+		c.shardServers[i] = srv
+		c.urls[i] = srv.URL
+	}
+
+	reg := obs.NewRegistry()
+	co := newPendingServer(reg, obs.NewTraceRing(8), log, 4)
+	co.setCoordinator(&shard.Coordinator{Shards: c.urls, Metrics: shard.NewMetrics(reg)}, m)
+	co.finishStartup(nil, nil, d.Spec.Start, d.Spec.End)
+	c.coord = co
+
+	full, err := d.Build(lbsn.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.single = newServer(full, obs.NewRegistry(), obs.NewTraceRing(8), log, d.Spec.Start, d.Spec.End, 4)
+	return c
+}
+
+// TestServeShardedQueryMatchesSingleNode runs /v1/query against the
+// coordinator and against a single-node server over the same corpus: the
+// answers must be exactly identical through the full HTTP wiring (ids,
+// bit-identical scores, aggregates), the query must be transparent (same
+// response shape), and the coordinator's io rows must attribute the
+// fan-out to the shard component.
+func TestServeShardedQueryMatchesSingleNode(t *testing.T) {
+	c := newShardedCluster(t, 3)
+	for _, url := range []string{
+		"/v1/query?x=50&y=50&k=5&alpha=0.3&days=128",
+		"/v1/query?x=20&y=80&k=8&alpha=0.7&days=64",
+		"/v1/query?x=85&y=15&k=3&alpha=0.5&days=200",
+	} {
+		code, body := get(t, c.single, url+"&nocache=1")
+		if code != 200 {
+			t.Fatalf("single-node %s: status %d: %s", url, code, body)
+		}
+		var want queryResponse
+		if err := json.Unmarshal([]byte(body), &want); err != nil {
+			t.Fatal(err)
+		}
+
+		code, body = get(t, c.coord, url)
+		if code != 200 {
+			t.Fatalf("coordinator %s: status %d: %s", url, code, body)
+		}
+		var got queryResponse
+		if err := json.Unmarshal([]byte(body), &got); err != nil {
+			t.Fatal(err)
+		}
+
+		if len(got.Results) != len(want.Results) {
+			t.Fatalf("%s: coordinator returned %d results, single-node %d", url, len(got.Results), len(want.Results))
+		}
+		canon := func(rs []queryResult) []queryResult {
+			out := append([]queryResult(nil), rs...)
+			sort.Slice(out, func(i, j int) bool {
+				if out[i].Score != out[j].Score {
+					return out[i].Score < out[j].Score
+				}
+				return out[i].POI < out[j].POI
+			})
+			return out
+		}
+		a, b := canon(want.Results), canon(got.Results)
+		for i := range a {
+			if a[i].POI != b[i].POI {
+				t.Fatalf("%s: rank %d: POI %d, single-node has %d", url, i, b[i].POI, a[i].POI)
+			}
+			if math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) {
+				t.Fatalf("%s: rank %d (POI %d): score %v, single-node %v", url, i, a[i].POI, b[i].Score, a[i].Score)
+			}
+			if a[i].Agg != b[i].Agg {
+				t.Fatalf("%s: rank %d (POI %d): agg %d, single-node %d", url, i, a[i].POI, b[i].Agg, a[i].Agg)
+			}
+		}
+
+		// The io breakdown attributes the fan-out: one shard row per shard
+		// that served at least one round, level = shard index.
+		shardRows := 0
+		for _, line := range got.IO {
+			if line.Component == "shard" {
+				shardRows++
+				if line.Hits == 0 {
+					t.Errorf("%s: shard io row at level %d has no round-trips", url, line.Level)
+				}
+			}
+		}
+		if shardRows == 0 {
+			t.Errorf("%s: coordinator io breakdown has no shard rows: %+v", url, got.IO)
+		}
+	}
+}
+
+// TestServeShardedExplain: explain=1 through the coordinator carries the
+// per-shard attribution table instead of a local plan.
+func TestServeShardedExplain(t *testing.T) {
+	c := newShardedCluster(t, 3)
+	code, body := get(t, c.coord, "/v1/query?x=50&y=50&k=5&alpha=0.3&days=128&explain=1")
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp queryResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	ex := resp.Explain
+	if ex == nil {
+		t.Fatal("explain=1 through the coordinator returned no explain object")
+	}
+	if len(ex.Shards) != 3 {
+		t.Fatalf("explain has %d shard rows, want 3: %+v", len(ex.Shards), ex.Shards)
+	}
+	var results, accesses, tiaReads int64
+	for i, row := range ex.Shards {
+		if row.Shard != i {
+			t.Errorf("shard row %d reports index %d", i, row.Shard)
+		}
+		if row.URL != c.urls[i] {
+			t.Errorf("shard row %d: url %q, want %q", i, row.URL, c.urls[i])
+		}
+		results += int64(row.Results)
+		accesses += row.NodeAccesses
+		tiaReads += row.TIAReads
+	}
+	if results == 0 || accesses == 0 {
+		t.Errorf("shard rows report no work: results=%d node_accesses=%d", results, accesses)
+	}
+	// The explain's summed shard work is the same ledger the stats block
+	// reports — distributed queries stay auditable end to end.
+	if want := int64(resp.Stats.InternalAccesses + resp.Stats.LeafAccesses); accesses != want {
+		t.Errorf("shard rows sum to %d node accesses, stats say %d", accesses, want)
+	}
+	if tiaReads != resp.Stats.TIAAccesses {
+		t.Errorf("shard rows sum to %d TIA reads, stats say %d", tiaReads, resp.Stats.TIAAccesses)
+	}
+	if ex.Plan != nil {
+		t.Errorf("coordinator explain carries a local plan: %+v", ex.Plan)
+	}
+}
+
+// TestServeShardedKilledShard: with one shard down, the coordinator answers
+// 503 with the unavailable envelope naming the dead shard — never a
+// silently partial top-k.
+func TestServeShardedKilledShard(t *testing.T) {
+	c := newShardedCluster(t, 3)
+	c.shardServers[1].Close()
+
+	code, body := get(t, c.coord, "/v1/query?x=50&y=50&k=5&alpha=0.3&days=128")
+	if code != 503 {
+		t.Fatalf("status %d, want 503: %s", code, body)
+	}
+	var out struct {
+		Error struct {
+			Code    string         `json:"code"`
+			Message string         `json:"message"`
+			Details map[string]any `json:"details"`
+		} `json:"error"`
+		Results []queryResult `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("503 body not JSON: %v\n%s", err, body)
+	}
+	if out.Error.Code != "unavailable" {
+		t.Errorf("error code %q, want %q", out.Error.Code, "unavailable")
+	}
+	if idx, ok := out.Error.Details["shard"].(float64); !ok || int(idx) != 1 {
+		t.Errorf("error details do not name shard 1: %+v", out.Error.Details)
+	}
+	if u, ok := out.Error.Details["url"].(string); !ok || u != c.urls[1] {
+		t.Errorf("error details do not carry the shard url: %+v", out.Error.Details)
+	}
+	if len(out.Results) != 0 {
+		t.Errorf("failed scatter-gather still returned %d results", len(out.Results))
+	}
+}
+
+// TestServeShardedHealthz pins the role blocks: a shard reports its index
+// and owned region, the coordinator its shard list.
+func TestServeShardedHealthz(t *testing.T) {
+	c := newShardedCluster(t, 3)
+
+	code, body := get(t, c.coord, "/healthz")
+	if code != 200 {
+		t.Fatalf("coordinator healthz status %d: %s", code, body)
+	}
+	var ch struct {
+		Role  string `json:"role"`
+		Shard struct {
+			Shards []string `json:"shards"`
+		} `json:"shard"`
+	}
+	if err := json.Unmarshal([]byte(body), &ch); err != nil {
+		t.Fatal(err)
+	}
+	if ch.Role != "coordinator" {
+		t.Errorf("coordinator role %q", ch.Role)
+	}
+	if len(ch.Shard.Shards) != 3 {
+		t.Errorf("coordinator healthz lists %d shards, want 3", len(ch.Shard.Shards))
+	}
+
+	resp, err := c.shardServers[2].Client().Get(c.urls[2] + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("shard healthz status %d", resp.StatusCode)
+	}
+	var sh struct {
+		Role  string `json:"role"`
+		Shard struct {
+			Index  int `json:"index"`
+			Of     int `json:"of"`
+			Region struct {
+				MinX float64 `json:"min_x"`
+				MinY float64 `json:"min_y"`
+				MaxX float64 `json:"max_x"`
+				MaxY float64 `json:"max_y"`
+			} `json:"region"`
+		} `json:"shard"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sh); err != nil {
+		t.Fatal(err)
+	}
+	if sh.Role != "shard" {
+		t.Errorf("shard role %q", sh.Role)
+	}
+	if sh.Shard.Index != 2 || sh.Shard.Of != 3 {
+		t.Errorf("shard healthz reports %d/%d, want 2/3", sh.Shard.Index, sh.Shard.Of)
+	}
+	r := c.m.Region(2)
+	if sh.Shard.Region.MinX != r.Min[0] || sh.Shard.Region.MaxY != r.Max[1] {
+		t.Errorf("shard healthz region [%v %v %v %v] does not match map region %v",
+			sh.Shard.Region.MinX, sh.Shard.Region.MinY, sh.Shard.Region.MaxX, sh.Shard.Region.MaxY, r)
+	}
+}
+
+// TestServeErrorEnvelope is the unified error-contract table: every /v1/*
+// failure answers the same JSON envelope with a stable machine-readable
+// code, across handlers and statuses.
+func TestServeErrorEnvelope(t *testing.T) {
+	s, _ := newTestServer(t)
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	pending := newPendingServer(obs.NewRegistry(), obs.NewTraceRing(8), log, 4)
+
+	cases := []struct {
+		name     string
+		srv      *server
+		method   string
+		url      string
+		body     string
+		status   int
+		code     string
+		contains string
+	}{
+		{"malformed query", s, "GET", "/v1/query?x=abc&y=50&k=5", "", 400, "invalid_argument", ""},
+		{"k out of range", s, "GET", "/v1/query?x=50&y=50&k=0&days=128", "", 400, "invalid_argument", "k must be positive"},
+		{"min_lsn without a store", s, "GET", "/v1/query?x=50&y=50&k=5&days=128&min_lsn=9", "", 400, "invalid_argument", "min_lsn"},
+		{"shard routes on a standalone server", s, "GET", "/v1/shard/gmax", "", 403, "forbidden", "-shard-of"},
+		{"repl routes on a standalone server", s, "GET", "/v1/repl/snapshot", "", 403, "forbidden", "-repl-token"},
+		{"unknown v1 route", s, "GET", "/v1/nope", "", 404, "not_found", "/v1/nope"},
+		{"ingest on a static server", s, "POST", "/v1/ingest", `{"checkins":[{"poi":1,"ts":1}]}`, 503, "unavailable", ""},
+		{"query while recovering", pending, "GET", "/v1/query?x=50&y=50&k=5", "", 503, "unavailable", "recovering"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var code int
+			var body string
+			if c.method == "POST" {
+				code, body = post(t, c.srv, c.url, c.body)
+			} else {
+				code, body = get(t, c.srv, c.url)
+			}
+			if code != c.status {
+				t.Fatalf("status %d, want %d: %s", code, c.status, body)
+			}
+			var out struct {
+				Error struct {
+					Code    string `json:"code"`
+					Message string `json:"message"`
+				} `json:"error"`
+			}
+			if err := json.Unmarshal([]byte(body), &out); err != nil {
+				t.Fatalf("error body not the JSON envelope: %v\n%s", err, body)
+			}
+			if out.Error.Code != c.code {
+				t.Errorf("code %q, want %q", out.Error.Code, c.code)
+			}
+			if out.Error.Message == "" {
+				t.Error("envelope has no message")
+			}
+			if c.contains != "" && !strings.Contains(out.Error.Message, c.contains) {
+				t.Errorf("message %q does not mention %q", out.Error.Message, c.contains)
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@
 package batch
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -220,12 +221,14 @@ func countNode(stats *core.QueryStats, n *rstar.Node) {
 // ProcessIndividually answers the batch one query at a time with the plain
 // best-first search — the baseline the paper compares against (with the
 // TIAs unbuffered to expose the effect of memory buffering, which callers
-// arrange via the TIA factory).
-func ProcessIndividually(t *core.Tree, queries []core.Query) ([]Result, core.QueryStats, error) {
+// arrange via the TIA factory). It takes any Querier, so the baseline can
+// run against a local tree, a WAL store, a remote server or a shard
+// coordinator unchanged.
+func ProcessIndividually(src core.Querier, queries []core.Query) ([]Result, core.QueryStats, error) {
 	var total core.QueryStats
 	out := make([]Result, len(queries))
 	for i, q := range queries {
-		res, stats, err := t.Query(q)
+		res, stats, err := src.QueryCtx(context.Background(), q, nil)
 		if err != nil {
 			return nil, total, err
 		}

@@ -563,5 +563,5 @@ var Experiments = map[string]func(Config) ([]Table, error){
 func ExperimentIDs() []string {
 	return []string{"table2", "table4", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-		"ingest", "cache", "calibration", "startup", "repl", "smoke"}
+		"ingest", "cache", "calibration", "startup", "repl", "shard", "smoke"}
 }

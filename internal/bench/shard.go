@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"tartree/internal/core"
+	"tartree/internal/lbsn"
+	"tartree/internal/obs"
+	"tartree/internal/shard"
+)
+
+// shardBenchN is the shard count of the experiment fleet — the 2×2 STR
+// grid the README quickstart also uses.
+const shardBenchN = 4
+
+// shardBenchNodeSize shrinks the nodes so every shard's slice still spans
+// multiple tree levels: with the 1 KiB default a quarter of the corpus fits
+// in one leaf and there is no frontier left for the global bound to prune.
+const shardBenchNodeSize = 256
+
+// ShardExp measures scatter-gather kNNTA over loopback HTTP: the effective
+// POI set is STR-partitioned across four shard servers, and the same query
+// battery runs three ways — single-node, coordinated with the global
+// ranking bound pushed to in-flight shards, and coordinated with the bound
+// disabled (pure fan-out). Two gates ride along: the bounded coordinator's
+// answers must be exactly identical to single-node execution (ids AND
+// scores — the shards index their slices over the full world rectangle, so
+// per-POI scores are bit-identical), and the global bound must strictly
+// reduce the summed per-shard node accesses against the no-bound fan-out.
+//
+// The exported counters depend only on the workload shape (the rounds are
+// barriers, so round/push counts are deterministic), never on timing:
+//
+//	bench_shard_queries_total
+//	bench_shard_results_total
+//	bench_shard_fanout_total
+//	bench_shard_rounds_total
+//	bench_shard_bound_pushes_total
+//	bench_shard_pruned_total
+//	bench_shard_node_accesses_single_total
+//	bench_shard_node_accesses_bounded_total
+//	bench_shard_node_accesses_unbounded_total
+func ShardExp(cfg Config) ([]Table, error) {
+	name := "GS"
+	scale := cfg.Scale
+	if scale == 0 {
+		scale = 0.2
+	}
+	spec, err := lbsn.SpecByName(name)
+	if err != nil {
+		return nil, err
+	}
+	d, err := lbsn.Generate(spec.Scaled(scale))
+	if err != nil {
+		return nil, err
+	}
+	single, err := d.Build(lbsn.BuildOptions{Grouping: core.TAR3D, NodeSize: shardBenchNodeSize})
+	if err != nil {
+		return nil, err
+	}
+
+	pois := d.EffectivePOIs(0, 0)
+	if len(pois) < shardBenchN {
+		return nil, fmt.Errorf("shard: only %d effective POIs at scale %.2f", len(pois), scale)
+	}
+	m, err := shard.Partition(pois, shardBenchN, d.World)
+	if err != nil {
+		return nil, err
+	}
+	urls := make([]string, shardBenchN)
+	for i := 0; i < shardBenchN; i++ {
+		idx := i
+		tr, err := d.Build(lbsn.BuildOptions{
+			Grouping: core.TAR3D,
+			NodeSize: shardBenchNodeSize,
+			Keep:     func(p core.POI) bool { return m.Locate(p.X, p.Y) == idx },
+		})
+		if err != nil {
+			return nil, err
+		}
+		mux := http.NewServeMux()
+		(&shard.Server{
+			Data:   shard.TreeViewer{Tree: tr},
+			Index:  idx,
+			N:      shardBenchN,
+			Region: m.Region(idx),
+		}).Register(mux)
+		srv := httptest.NewServer(mux)
+		defer srv.Close()
+		urls[i] = srv.URL
+	}
+
+	queries := d.Queries(cfg.queries(), defaultK, defaultAlpha, cfg.Seed+43)
+
+	// Arm 1: single-node baseline (also the identity oracle).
+	var singleWork int64
+	oracle := make([][]core.Result, len(queries))
+	for i, q := range queries {
+		r, stats, err := single.QueryCtx(context.Background(), q, &core.QueryOpts{NoCache: true})
+		if err != nil {
+			return nil, err
+		}
+		oracle[i] = r
+		singleWork += int64(stats.RTreeAccesses())
+	}
+
+	// Arm 2: scatter-gather with the global bound pushed to in-flight
+	// shards. Gate 1: exact answer identity against the oracle.
+	bm := shard.NewMetrics(obs.NewRegistry())
+	bounded := &shard.Coordinator{Shards: urls, Metrics: bm}
+	var boundedWork int64
+	boundedStart := time.Now()
+	for i, q := range queries {
+		r, stats, err := bounded.QueryCtx(context.Background(), q, nil)
+		if err != nil {
+			return nil, err
+		}
+		boundedWork += int64(stats.RTreeAccesses())
+		if err := identicalAnswers(oracle[i], r); err != nil {
+			return nil, fmt.Errorf("shard: query %d: coordinator vs single-node: %w", i, err)
+		}
+	}
+	boundedElapsed := time.Since(boundedStart)
+
+	// Arm 3: the same fleet with the bound disabled — every shard streams
+	// its whole frontier. Gate 2: the bound must strictly reduce work.
+	um := shard.NewMetrics(obs.NewRegistry())
+	unbounded := &shard.Coordinator{Shards: urls, Metrics: um, NoBound: true, Batch: defaultK}
+	var unboundedWork int64
+	unboundedStart := time.Now()
+	for i, q := range queries {
+		r, stats, err := unbounded.QueryCtx(context.Background(), q, nil)
+		if err != nil {
+			return nil, err
+		}
+		unboundedWork += int64(stats.RTreeAccesses())
+		if err := identicalAnswers(oracle[i], r); err != nil {
+			return nil, fmt.Errorf("shard: query %d: unbounded coordinator vs single-node: %w", i, err)
+		}
+	}
+	unboundedElapsed := time.Since(unboundedStart)
+
+	if boundedWork >= unboundedWork {
+		return nil, fmt.Errorf("shard: global bound did not reduce work: bounded %d node accesses vs unbounded %d",
+			boundedWork, unboundedWork)
+	}
+
+	var results int64
+	for _, r := range oracle {
+		results += int64(len(r))
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Counter("bench_shard_queries_total").Add(int64(len(queries)))
+		cfg.Metrics.Counter("bench_shard_results_total").Add(results)
+		cfg.Metrics.Counter("bench_shard_fanout_total").Add(bm.Fanout.Value())
+		cfg.Metrics.Counter("bench_shard_rounds_total").Add(bm.Rounds.Value())
+		cfg.Metrics.Counter("bench_shard_bound_pushes_total").Add(bm.BoundPushes.Value())
+		cfg.Metrics.Counter("bench_shard_pruned_total").Add(bm.Pruned.Value())
+		cfg.Metrics.Counter("bench_shard_node_accesses_single_total").Add(singleWork)
+		cfg.Metrics.Counter("bench_shard_node_accesses_bounded_total").Add(boundedWork)
+		cfg.Metrics.Counter("bench_shard_node_accesses_unbounded_total").Add(unboundedWork)
+	}
+
+	t := Table{
+		Title: fmt.Sprintf("Sharding: scatter-gather kNNTA over %d shards, loopback HTTP (%s ×%.2f, %d queries; answers identical to single-node)",
+			shardBenchN, name, scale, len(queries)),
+		Header: []string{"mode", "node accesses", "rounds", "bound pushes", "pruned shards", "elapsed (ms)"},
+		Rows: [][]string{
+			{
+				"single-node",
+				fmt.Sprintf("%d", singleWork),
+				"-", "-", "-", "-",
+			},
+			{
+				"scatter-gather, global bound",
+				fmt.Sprintf("%d", boundedWork),
+				fmt.Sprintf("%d", bm.Rounds.Value()),
+				fmt.Sprintf("%d", bm.BoundPushes.Value()),
+				fmt.Sprintf("%d", bm.Pruned.Value()),
+				fmt.Sprintf("%.1f", boundedElapsed.Seconds()*1000),
+			},
+			{
+				"scatter-gather, no bound",
+				fmt.Sprintf("%d", unboundedWork),
+				fmt.Sprintf("%d", um.Rounds.Value()),
+				"0",
+				fmt.Sprintf("%d", um.Pruned.Value()),
+				fmt.Sprintf("%.1f", unboundedElapsed.Seconds()*1000),
+			},
+			{
+				"bound saving",
+				fmt.Sprintf("-%.1f%%", 100*(1-float64(boundedWork)/float64(unboundedWork))),
+				"-", "-", "-", "-",
+			},
+		},
+	}
+	return []Table{t}, nil
+}
+
+// identicalAnswers requires exact answer identity — the same POI ids with
+// bit-identical scores. Both sides are canonicalized by (score, id) so a
+// tie between equal-score POIs (measure-zero with continuous coordinates,
+// but possible) cannot order-flake the gate.
+func identicalAnswers(want, got []core.Result) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("result count %d != %d", len(got), len(want))
+	}
+	canon := func(rs []core.Result) []core.Result {
+		out := append([]core.Result(nil), rs...)
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Score != out[j].Score {
+				return out[i].Score < out[j].Score
+			}
+			return out[i].POI.ID < out[j].POI.ID
+		})
+		return out
+	}
+	a, b := canon(want), canon(got)
+	for i := range a {
+		if a[i].POI.ID != b[i].POI.ID {
+			return fmt.Errorf("rank %d: POI %d != %d", i, b[i].POI.ID, a[i].POI.ID)
+		}
+		if math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) {
+			return fmt.Errorf("rank %d (POI %d): score %v != %v", i, a[i].POI.ID, b[i].Score, a[i].Score)
+		}
+		if a[i].Agg != b[i].Agg {
+			return fmt.Errorf("rank %d (POI %d): aggregate %d != %d", i, a[i].POI.ID, b[i].Agg, a[i].Agg)
+		}
+	}
+	return nil
+}
+
+func init() {
+	Experiments["shard"] = ShardExp
+}

@@ -1,0 +1,100 @@
+package httpapi
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestCodeForStatus pins the status→code contract clients branch on.
+func TestCodeForStatus(t *testing.T) {
+	cases := []struct {
+		status int
+		code   string
+	}{
+		{400, CodeInvalidArgument},
+		{401, CodeUnauthorized},
+		{403, CodeForbidden},
+		{404, CodeNotFound},
+		{405, CodeMethodNotAllowed},
+		{409, CodeConflict},
+		{410, CodeGone},
+		{422, CodeUnprocessable},
+		{500, CodeInternal},
+		{503, CodeUnavailable},
+		{504, CodeTimeout},
+		{502, CodeInternal},        // unmapped 5xx
+		{418, CodeInvalidArgument}, // unmapped 4xx
+	}
+	for _, c := range cases {
+		if got := CodeForStatus(c.status); got != c.code {
+			t.Errorf("CodeForStatus(%d) = %q, want %q", c.status, got, c.code)
+		}
+	}
+}
+
+// TestWriteReadRoundTrip: an envelope written by the server half decodes
+// losslessly through the client half, details included.
+func TestWriteReadRoundTrip(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteError(rec, http.StatusServiceUnavailable, CodeUnavailable,
+		"shard 1 is down", map[string]any{"shard": 1, "url": "http://shard-1"})
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	e := ReadError(rec.Result())
+	if e.Status != 503 || e.Code != CodeUnavailable {
+		t.Errorf("decoded status/code %d/%q", e.Status, e.Code)
+	}
+	if e.Message != "shard 1 is down" {
+		t.Errorf("decoded message %q", e.Message)
+	}
+	if idx, ok := e.Details["shard"].(float64); !ok || idx != 1 {
+		t.Errorf("decoded details %+v", e.Details)
+	}
+	if !strings.Contains(e.Error(), "503") || !strings.Contains(e.Error(), "shard 1 is down") {
+		t.Errorf("Error() = %q", e.Error())
+	}
+}
+
+// TestReadErrorLegacyBodies: ReadError degrades gracefully on the bodies
+// pre-envelope servers produced.
+func TestReadErrorLegacyBodies(t *testing.T) {
+	cases := []struct {
+		name    string
+		body    string
+		message string
+		code    string
+	}{
+		{"legacy flat object", `{"error": "bad thing"}`, "bad thing", CodeGone},
+		{"plain text", "plain text error\n", "plain text error", CodeGone},
+		{"empty body", "", "", CodeGone},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp := &http.Response{
+				StatusCode: http.StatusGone,
+				Body:       io.NopCloser(strings.NewReader(c.body)),
+			}
+			e := ReadError(resp)
+			if e.Status != 410 || e.Code != c.code {
+				t.Errorf("status/code %d/%q", e.Status, e.Code)
+			}
+			if e.Message != c.message {
+				t.Errorf("message %q, want %q", e.Message, c.message)
+			}
+		})
+	}
+}
+
+// TestWriteStatusError: the default-code writer uses the status mapping.
+func TestWriteStatusError(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteStatusError(rec, http.StatusNotFound, "no such route")
+	e := ReadError(rec.Result())
+	if e.Code != CodeNotFound || e.Message != "no such route" {
+		t.Errorf("decoded %+v", e)
+	}
+}

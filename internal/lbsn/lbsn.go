@@ -315,6 +315,12 @@ type BuildOptions struct {
 	// Cutoff indexes only check-ins before this time (0: all), and POIs
 	// whose totals up to the cutoff reach the effectiveness threshold.
 	Cutoff int64
+	// Keep, when non-nil, further filters the effective POIs: only those
+	// it accepts are indexed. Shard builds pass the shard map's ownership
+	// predicate here, so each shard indexes its subset over the full
+	// world rectangle (which keeps per-POI scores identical to a
+	// single-node build).
+	Keep func(p core.POI) bool
 	// Metrics instruments the built tree (see core.Options.Metrics).
 	Metrics *obs.Registry
 	// Traces captures finished queries (see core.Options.Traces).
@@ -354,11 +360,36 @@ func (d *Dataset) Build(o BuildOptions) (*core.Tree, error) {
 		if total < d.Spec.MinEffective {
 			continue
 		}
+		if o.Keep != nil && !o.Keep(core.POI{ID: p.ID, X: p.X, Y: p.Y}) {
+			continue
+		}
 		if err := tr.InsertPOI(core.POI{ID: p.ID, X: p.X, Y: p.Y}, hist); err != nil {
 			return nil, err
 		}
 	}
 	return tr, nil
+}
+
+// EffectivePOIs returns the POIs Build would index — those whose check-in
+// totals (up to cutoff; 0 means all) reach the effectiveness threshold —
+// before any Keep filter. Shard-map construction partitions exactly this
+// set. epochLength 0 selects the 7-day default, matching Build.
+func (d *Dataset) EffectivePOIs(epochLength, cutoff int64) []core.POI {
+	if epochLength == 0 {
+		epochLength = 7 * Day
+	}
+	var out []core.POI
+	for i := range d.POIs {
+		p := &d.POIs[i]
+		var total int64
+		for _, r := range History(p, d.Spec.Start, epochLength, cutoff) {
+			total += r.Agg
+		}
+		if total >= d.Spec.MinEffective {
+			out = append(out, core.POI{ID: p.ID, X: p.X, Y: p.Y})
+		}
+	}
+	return out
 }
 
 // Queries generates n kNNTA queries per the paper's setup: query points

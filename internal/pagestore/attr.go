@@ -38,12 +38,17 @@ const (
 	// and the aggcache cells explain the reads that never happened. Level 0
 	// holds aggregate probes, level 1 whole-result lookups.
 	CompAggCache
+	// CompShard is a scatter-gather round-trip to one shard process, not a
+	// page access: the coordinator records one read per shard round at
+	// level = shard index (clamped), so a distributed query's io breakdown
+	// attributes its fan-out the same way local queries attribute pages.
+	CompShard
 	// NumComponents bounds the Component enum (array dimension).
 	NumComponents
 )
 
 var componentNames = [NumComponents]string{
-	"unknown", "rtree-internal", "rtree-leaf", "tia-btree", "tia-mvbt", "agg-cache",
+	"unknown", "rtree-internal", "rtree-leaf", "tia-btree", "tia-mvbt", "agg-cache", "shard",
 }
 
 // String returns the stable label used in metrics and JSON output.

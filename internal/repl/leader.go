@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"tartree/internal/httpapi"
 	"tartree/internal/wal"
 )
 
@@ -72,15 +73,15 @@ func (ld *Leader) Register(mux *http.ServeMux) {
 // authorize writes the error response itself when it returns false.
 func (ld *Leader) authorize(w http.ResponseWriter, r *http.Request) bool {
 	if ld.Token == "" {
-		http.Error(w, "replication disabled: no token configured", http.StatusForbidden)
+		httpapi.WriteStatusError(w, http.StatusForbidden, "replication disabled: no token configured")
 		return false
 	}
 	if !Authorized(r, ld.Token) {
-		http.Error(w, "missing or invalid replication token", http.StatusUnauthorized)
+		httpapi.WriteStatusError(w, http.StatusUnauthorized, "missing or invalid replication token")
 		return false
 	}
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		httpapi.WriteStatusError(w, http.StatusMethodNotAllowed, "GET only")
 		return false
 	}
 	return true
@@ -93,7 +94,7 @@ func (ld *Leader) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	buf, lsn, err := ld.Store.EncodeSnapshot()
 	if err != nil {
-		http.Error(w, fmt.Sprintf("encoding snapshot: %v", err), http.StatusInternalServerError)
+		httpapi.WriteStatusError(w, http.StatusInternalServerError, fmt.Sprintf("encoding snapshot: %v", err))
 		return
 	}
 	ld.Metrics.addSnapshotServed()
@@ -111,19 +112,21 @@ func (ld *Leader) ServeWAL(w http.ResponseWriter, r *http.Request) {
 	}
 	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
 	if err != nil || from == 0 {
-		http.Error(w, "from must be a positive LSN", http.StatusBadRequest)
+		httpapi.WriteStatusError(w, http.StatusBadRequest, "from must be a positive LSN")
 		return
 	}
 	log := ld.Store.Log()
 	if oldest := log.OldestLSN(); from < oldest {
 		w.Header().Set(HeaderOldestLSN, strconv.FormatUint(oldest, 10))
-		http.Error(w, fmt.Sprintf("LSN %d truncated by checkpoint (oldest %d): re-bootstrap from snapshot", from, oldest),
-			http.StatusGone)
+		httpapi.WriteError(w, http.StatusGone, httpapi.CodeGone,
+			fmt.Sprintf("LSN %d truncated by checkpoint (oldest %d): re-bootstrap from snapshot", from, oldest),
+			map[string]any{"oldest_lsn": oldest})
 		return
 	}
 	if durable := log.DurableLSN(); from > durable+1 {
-		http.Error(w, fmt.Sprintf("LSN %d is beyond this leader's durable %d: follower has diverged", from, durable),
-			http.StatusConflict)
+		httpapi.WriteError(w, http.StatusConflict, httpapi.CodeConflict,
+			fmt.Sprintf("LSN %d is beyond this leader's durable %d: follower has diverged", from, durable),
+			map[string]any{"durable_lsn": durable})
 		return
 	}
 	ld.Metrics.addStreamRequest()

@@ -1,0 +1,135 @@
+package shard
+
+import (
+	"tartree/internal/obs"
+)
+
+// Metrics publishes the scatter-gather telemetry into an obs.Registry. A
+// nil *Metrics is valid and records nothing (the internal/repl convention).
+//
+// Coordinator side:
+//
+//	tartree_shard_queries_total        distributed queries served
+//	tartree_shard_fanout_total         shard round-trips issued
+//	tartree_shard_rounds_total         barrier rounds run
+//	tartree_shard_bound_pushes_total   round-trips carrying a global bound
+//	tartree_shard_pruned_total         shards stopped by the global bound
+//	tartree_shard_restarts_total       sessions restarted on version drift
+//	tartree_shard_errors_total         failed shard round-trips
+//	tartree_shard_straggler_seconds    slowest-shard latency per round
+//
+// Shard side:
+//
+//	tartree_shard_sessions_total       search sessions opened
+//	tartree_shard_session_rounds_total rounds served
+//	tartree_shard_candidates_total     candidates streamed up
+//	tartree_shard_expired_total        sessions dropped (TTL, cap, drift)
+type Metrics struct {
+	Queries     *obs.Counter
+	Fanout      *obs.Counter
+	Rounds      *obs.Counter
+	BoundPushes *obs.Counter
+	Pruned      *obs.Counter
+	Restarts    *obs.Counter
+	Errors      *obs.Counter
+	Straggler   *obs.Histogram
+
+	Sessions      *obs.Counter
+	SessionRounds *obs.Counter
+	Candidates    *obs.Counter
+	Expired       *obs.Counter
+}
+
+// NewMetrics registers the shard series in r. Pass nil to disable.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Queries:     r.Counter("tartree_shard_queries_total"),
+		Fanout:      r.Counter("tartree_shard_fanout_total"),
+		Rounds:      r.Counter("tartree_shard_rounds_total"),
+		BoundPushes: r.Counter("tartree_shard_bound_pushes_total"),
+		Pruned:      r.Counter("tartree_shard_pruned_total"),
+		Restarts:    r.Counter("tartree_shard_restarts_total"),
+		Errors:      r.Counter("tartree_shard_errors_total"),
+		Straggler:   r.Histogram("tartree_shard_straggler_seconds", nil),
+
+		Sessions:      r.Counter("tartree_shard_sessions_total"),
+		SessionRounds: r.Counter("tartree_shard_session_rounds_total"),
+		Candidates:    r.Counter("tartree_shard_candidates_total"),
+		Expired:       r.Counter("tartree_shard_expired_total"),
+	}
+}
+
+func (m *Metrics) addQuery() {
+	if m != nil {
+		m.Queries.Inc()
+	}
+}
+
+func (m *Metrics) addFanout(n int) {
+	if m != nil {
+		m.Fanout.Add(int64(n))
+	}
+}
+
+func (m *Metrics) addRound() {
+	if m != nil {
+		m.Rounds.Inc()
+	}
+}
+
+func (m *Metrics) addBoundPushes(n int) {
+	if m != nil {
+		m.BoundPushes.Add(int64(n))
+	}
+}
+
+func (m *Metrics) addPruned() {
+	if m != nil {
+		m.Pruned.Inc()
+	}
+}
+
+func (m *Metrics) addRestart() {
+	if m != nil {
+		m.Restarts.Inc()
+	}
+}
+
+func (m *Metrics) addError() {
+	if m != nil {
+		m.Errors.Inc()
+	}
+}
+
+func (m *Metrics) observeStraggler(sec float64) {
+	if m != nil {
+		m.Straggler.Observe(sec)
+	}
+}
+
+func (m *Metrics) addSession() {
+	if m != nil {
+		m.Sessions.Inc()
+	}
+}
+
+func (m *Metrics) addSessionRound() {
+	if m != nil {
+		m.SessionRounds.Inc()
+	}
+}
+
+func (m *Metrics) addCandidates(n int) {
+	if m != nil {
+		m.Candidates.Add(int64(n))
+	}
+}
+
+func (m *Metrics) addExpired() {
+	if m != nil {
+		m.Expired.Inc()
+	}
+}

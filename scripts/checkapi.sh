@@ -34,8 +34,10 @@ type ExplainBand =
 type Planner =
 type Plan =
 type Engine =
+type Querier =
 type QueryOpts =
 type QueryStats =
+type ExplainShard =
 UseIndex
 UseScan
 ErrInvalid

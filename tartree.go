@@ -92,6 +92,11 @@ type (
 	// bypass, access-counting control. The zero value (or nil) is the
 	// default behavior.
 	QueryOpts = core.QueryOpts
+	// Querier is the one call shape every kNNTA execution engine exposes:
+	// a local Tree, a durable WAL store, a remote tarserve over HTTP and
+	// the scatter-gather shard coordinator all implement it, so callers
+	// are written once against the interface.
+	Querier = core.Querier
 	// Span is one node of a structured span tree; pass a request span via
 	// QueryOpts.Span and the query stages (cache probe, best-first search,
 	// cache store) are recorded as its children. A nil *Span is a no-op.
@@ -128,6 +133,9 @@ type (
 	ExplainNode = core.ExplainNode
 	// ExplainBand is one slab of the Section-6.3 node-access estimation.
 	ExplainBand = core.ExplainBand
+	// ExplainShard is one shard's attribution row in a coordinator's
+	// explain: candidates shipped, rounds, bound pushes, work counters.
+	ExplainShard = core.ExplainShard
 	// Planner is the Section-6 cost-model query optimizer; build one with
 	// NewPlanner (both engines) or NewPlanEstimator (estimates only).
 	Planner = planner.Planner
